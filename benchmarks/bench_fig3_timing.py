@@ -1,0 +1,43 @@
+"""Figure 3: the MAL timing diagrams (cache hit / cache miss scenarios).
+
+Benchmarks the cycle simulation that regenerates the two waveforms and asserts
+the qualitative shape reported in the paper:
+
+* hit scenario — ``d1`` arrives with the grant (the lookup result is
+  combinational with the grant in this reproduction) and before any ``d2``,
+* miss scenario — ``wait`` rises, masks the ``r2`` grant, and ``d1`` arrives
+  when the refill (``hit``) comes.
+"""
+
+from repro.designs import build_full_mal_fig2, hit_scenario_stimulus, miss_scenario_stimulus
+from repro.rtl import Stimulus, render_waveform, simulate
+
+
+def _simulate_both():
+    design = build_full_mal_fig2()
+    hit = simulate(design, Stimulus.from_vectors(**hit_scenario_stimulus()), cycles=6)
+    miss = simulate(design, Stimulus.from_vectors(**miss_scenario_stimulus()), cycles=6)
+    return hit, miss
+
+
+def test_fig3_timing_diagrams(benchmark):
+    hit, miss = benchmark(_simulate_both)
+
+    # Figure 3(a): grant at cycle 1, r1 served first.  The cache lookup result
+    # is combinational with the grant in this reproduction (see the timing note
+    # in repro.designs.mal), so the hit delivers d1 in the grant cycle.
+    assert hit.signal("g1")[1]
+    assert hit.signal("d1")[1]
+    d1_at, d2_at = hit.first_cycle_where("d1"), hit.first_cycle_where("d2")
+    assert d2_at is None or d1_at < d2_at
+
+    # Figure 3(b): the miss raises wait at cycle 2 which masks g2.
+    assert miss.signal("wait")[2]
+    assert not miss.signal("g2")[2]
+    assert miss.first_cycle_where("d1") is not None
+    d1_at, d2_at = miss.first_cycle_where("d1"), miss.first_cycle_where("d2")
+    assert d2_at is None or d1_at <= d2_at
+
+    # The waveform renderer produces a diagram for the paper's signal list.
+    diagram = render_waveform(hit, ["r1", "r2", "g1", "g2", "hit", "wait", "d1", "d2"], ascii_only=True)
+    assert "wait" in diagram

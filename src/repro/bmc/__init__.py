@@ -1,0 +1,42 @@
+"""SAT-based bounded model checking (BMC) backend.
+
+The explicit-state engine of :mod:`repro.mc` enumerates the reachable states
+of the concrete modules; for glue-logic-sized blocks that is exactly what the
+paper prescribes.  This package provides the complementary SAT-based engine:
+the module's transition relation is unrolled ``k`` time-frames, lasso-shaped
+runs are encoded with a loop-closing constraint, and the LTL obligations are
+translated to propositional constraints over the unrolled signals
+(Biere-style bounded semantics).  The same primary coverage question of
+Theorem 1 can then be answered by the CDCL solver of :mod:`repro.sat`.
+
+BMC is a *witness finder*: a satisfiable query yields a concrete lasso run
+(the decomposition is **not** covered); an unsatisfiable query only shows
+there is no witness up to the explored bound.  :mod:`repro.bmc.induction`
+adds k-induction, which can turn bounded absence into a full proof for
+invariant-style properties.
+
+Modules
+-------
+* :mod:`repro.bmc.unroll` — time-frame expansion of a netlist into CNF,
+* :mod:`repro.bmc.ltl_bmc` — bounded LTL semantics over a (k, l)-lasso,
+* :mod:`repro.bmc.engine` — the search loop, witness extraction,
+* :mod:`repro.bmc.induction` — k-induction for invariants,
+* :mod:`repro.bmc.primary` — the BMC form of the primary coverage question.
+"""
+
+from .engine import BMCResult, check_bmc, find_run_bmc
+from .induction import InductionResult, prove_invariant
+from .ltl_bmc import LTLBoundedEncoder
+from .primary import bmc_primary_coverage
+from .unroll import UnrolledModule
+
+__all__ = [
+    "BMCResult",
+    "find_run_bmc",
+    "check_bmc",
+    "InductionResult",
+    "prove_invariant",
+    "LTLBoundedEncoder",
+    "bmc_primary_coverage",
+    "UnrolledModule",
+]

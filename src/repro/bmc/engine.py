@@ -1,0 +1,144 @@
+"""The bounded model checking search loop.
+
+:func:`find_run_bmc` mirrors :func:`repro.mc.modelcheck.find_run`: it searches
+for a run of the concrete modules satisfying every given formula, but does so
+by unrolling the transition relation and asking the CDCL solver, increasing
+the bound until a witness appears or ``max_bound`` is exhausted.
+:func:`check_bmc` is the universal counterpart (property + assumptions).
+
+Witnesses are returned as :class:`~repro.ltl.traces.LassoTrace` objects, the
+same shape the explicit-state engine produces, so downstream reporting and
+the cross-checking tests can treat the two engines interchangeably.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+from ..ltl.ast import Formula, Not, atoms_of
+from ..ltl.traces import LassoTrace
+from ..rtl.netlist import Module
+from ..sat.solver import SatSolver
+from ..sat.tseitin import TseitinEncoder
+from .ltl_bmc import LTLBoundedEncoder
+from .unroll import UnrolledModule
+
+__all__ = ["BMCResult", "BMCStatistics", "find_run_bmc", "check_bmc"]
+
+
+@dataclass
+class BMCStatistics:
+    """Aggregate statistics over all SAT queries of one BMC run."""
+
+    sat_calls: int = 0
+    max_bound_reached: int = -1
+    clauses: int = 0
+    variables: int = 0
+    conflicts: int = 0
+    decisions: int = 0
+
+    def merge_solver(self, conflicts: int, decisions: int) -> None:
+        self.conflicts += conflicts
+        self.decisions += decisions
+
+
+@dataclass
+class BMCResult:
+    """Outcome of a bounded search for a witness run."""
+
+    satisfiable: bool
+    bound: int
+    loop_start: Optional[int] = None
+    witness: Optional[LassoTrace] = None
+    statistics: BMCStatistics = field(default_factory=BMCStatistics)
+    elapsed_seconds: float = 0.0
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.satisfiable
+
+    def summary(self) -> str:
+        if self.satisfiable:
+            return (
+                f"witness found at bound {self.bound} (loop to frame {self.loop_start}), "
+                f"{self.statistics.sat_calls} SAT calls"
+            )
+        return (
+            f"no witness up to bound {self.bound}, "
+            f"{self.statistics.sat_calls} SAT calls"
+        )
+
+
+def _free_atoms(module: Module, formulas: Sequence[Formula]) -> List[str]:
+    """Atoms used by the formulas that the module does not drive."""
+    driven = set(module.assigns) | set(module.registers)
+    names: List[str] = []
+    for formula in formulas:
+        for name in sorted(atoms_of(formula)):
+            if name not in driven and name not in names:
+                names.append(name)
+    return names
+
+
+def find_run_bmc(
+    module: Module,
+    formulas: Sequence[Formula],
+    *,
+    max_bound: int = 12,
+    min_bound: int = 0,
+) -> BMCResult:
+    """Search for a lasso run of ``module`` satisfying every formula.
+
+    Bounds are explored in increasing order; for each bound every loop
+    position is tried.  The first satisfiable query yields the witness.
+    An unsatisfiable result only means *no witness up to* ``max_bound``.
+    """
+    start = time.perf_counter()
+    statistics = BMCStatistics()
+    unrolled = UnrolledModule(module, free_atoms=_free_atoms(module, formulas))
+    unrolled.assert_initial_state()
+
+    for bound in range(min_bound, max_bound + 1):
+        unrolled.extend_to(bound)
+        statistics.max_bound_reached = bound
+        for loop_start in range(bound + 1):
+            query = unrolled.cnf.copy()
+            unrolled.loop_constraint(query, loop_start)
+            ltl = LTLBoundedEncoder(TseitinEncoder(query), bound, loop_start)
+            for formula in formulas:
+                ltl.assert_formula(formula)
+            statistics.sat_calls += 1
+            statistics.clauses = max(statistics.clauses, query.clause_count())
+            statistics.variables = max(statistics.variables, query.variable_count())
+            result = SatSolver(query).solve()
+            statistics.merge_solver(result.conflicts, result.decisions)
+            if result.satisfiable:
+                states = unrolled.decode_states(result.assignment)
+                witness = LassoTrace.from_states(states, loop_start)
+                return BMCResult(
+                    True,
+                    bound,
+                    loop_start,
+                    witness,
+                    statistics,
+                    time.perf_counter() - start,
+                )
+    return BMCResult(False, max_bound, None, None, statistics, time.perf_counter() - start)
+
+
+def check_bmc(
+    module: Module,
+    property_formula: Formula,
+    *,
+    assumptions: Sequence[Formula] = (),
+    max_bound: int = 12,
+) -> BMCResult:
+    """Look for a counterexample to ``property_formula`` within the bound.
+
+    A satisfiable result means the property is *violated* (the witness is the
+    counterexample lasso); an unsatisfiable result means no counterexample of
+    length up to ``max_bound`` exists.
+    """
+    formulas = [Not(property_formula)] + list(assumptions)
+    return find_run_bmc(module, formulas, max_bound=max_bound)

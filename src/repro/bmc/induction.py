@@ -1,0 +1,166 @@
+"""k-induction for invariant properties.
+
+Bounded model checking alone never *proves* a property — it only fails to
+find counterexamples up to a bound.  For invariants (``G p`` with ``p``
+boolean over the module signals) the classic strengthening is k-induction
+(Sheeran, Singh, Stålmarck 2000):
+
+* **base case** — no reachable state within ``k`` steps of the initial state
+  violates ``p``;
+* **inductive step** — there is no path of ``k + 1`` consecutive states, all
+  satisfying ``p`` and pairwise distinct (the *simple path* constraint), whose
+  successor violates ``p``.
+
+If both hold for some ``k`` the invariant holds on every reachable state.
+The simple-path constraint makes the method complete for finite-state
+modules: ``k`` never needs to exceed the recurrence diameter.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+from ..logic.boolexpr import BoolExpr, and_, const, iff, implies, not_, or_, var, xor
+from ..ltl.ast import (
+    Always,
+    And,
+    Atom,
+    FalseFormula,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    TrueFormula,
+    is_boolean,
+)
+from ..rtl.netlist import Module
+from ..sat.solver import SatSolver
+from ..sat.tseitin import TseitinEncoder
+from .unroll import UnrolledModule, frame_name
+
+__all__ = ["InductionResult", "prove_invariant", "formula_to_boolexpr"]
+
+
+@dataclass
+class InductionResult:
+    """Outcome of a k-induction proof attempt."""
+
+    proved: bool
+    violated: bool
+    k: int
+    counterexample: Optional[List[Dict[str, bool]]] = None
+    elapsed_seconds: float = 0.0
+
+    @property
+    def inconclusive(self) -> bool:
+        """True when the bound ran out before either verdict."""
+        return not self.proved and not self.violated
+
+    def summary(self) -> str:
+        if self.proved:
+            return f"invariant proved by {self.k}-induction"
+        if self.violated:
+            return f"invariant violated by a {self.k}-step trace from reset"
+        return f"inconclusive up to k = {self.k}"
+
+
+def formula_to_boolexpr(formula: Formula) -> BoolExpr:
+    """Translate a boolean (non-temporal) LTL formula into a BoolExpr."""
+    if isinstance(formula, Atom):
+        return var(formula.name)
+    if isinstance(formula, TrueFormula):
+        return const(True)
+    if isinstance(formula, FalseFormula):
+        return const(False)
+    if isinstance(formula, Not):
+        return not_(formula_to_boolexpr(formula.operand))
+    if isinstance(formula, And):
+        return and_(formula_to_boolexpr(formula.left), formula_to_boolexpr(formula.right))
+    if isinstance(formula, Or):
+        return or_(formula_to_boolexpr(formula.left), formula_to_boolexpr(formula.right))
+    if isinstance(formula, Implies):
+        return implies(formula_to_boolexpr(formula.left), formula_to_boolexpr(formula.right))
+    if isinstance(formula, Iff):
+        return iff(formula_to_boolexpr(formula.left), formula_to_boolexpr(formula.right))
+    raise ValueError(f"formula {formula} is not a boolean (non-temporal) property")
+
+
+def _as_invariant(invariant: Union[Formula, BoolExpr]) -> BoolExpr:
+    if isinstance(invariant, BoolExpr):
+        return invariant
+    formula = invariant
+    if isinstance(formula, Always):
+        formula = formula.operand
+    if not is_boolean(formula):
+        raise ValueError(
+            "k-induction handles invariants only: expected G(<boolean>) or a boolean formula"
+        )
+    return formula_to_boolexpr(formula)
+
+
+def _at_frame(predicate: BoolExpr, frame: int) -> BoolExpr:
+    """The predicate with every variable renamed to its frame-``frame`` copy."""
+    return predicate.substitute(
+        {name: var(frame_name(name, frame)) for name in predicate.variables()}
+    )
+
+
+def prove_invariant(
+    module: Module,
+    invariant: Union[Formula, BoolExpr],
+    *,
+    max_k: int = 10,
+) -> InductionResult:
+    """Prove ``G invariant`` on the module by k-induction, or find a violation."""
+    start = time.perf_counter()
+    predicate = _as_invariant(invariant)
+    free = sorted(set(predicate.variables()) - set(module.signals()))
+    register_names = list(module.registers)
+
+    for k in range(max_k + 1):
+        # Base case: a reachable violation within k steps of reset.
+        base = UnrolledModule(module, free_atoms=free)
+        base.assert_initial_state()
+        base.extend_to(k)
+        TseitinEncoder(base.cnf).assert_expr(
+            or_(*[not_(_at_frame(predicate, frame)) for frame in range(k + 1)])
+        )
+        base_result = SatSolver(base.cnf).solve()
+        if base_result.satisfiable:
+            states = base.decode_states(base_result.assignment)
+            return InductionResult(False, True, k, states, time.perf_counter() - start)
+
+        if not register_names:
+            # A combinational module reaches every behaviour in zero steps, so
+            # an unsatisfiable base case already proves the invariant.
+            return InductionResult(True, False, k, None, time.perf_counter() - start)
+
+        # Inductive step: k+1 consecutive good, pairwise distinct states
+        # followed by a violating successor (no initial-state constraint).
+        step = UnrolledModule(module, free_atoms=free)
+        step.extend_to(k + 1)
+        encoder = TseitinEncoder(step.cnf)
+        for frame in range(k + 1):
+            encoder.assert_expr(_at_frame(predicate, frame))
+        encoder.assert_expr(_at_frame(predicate, k + 1), False)
+        for frame_a in range(k + 1):
+            for frame_b in range(frame_a + 1, k + 1):
+                encoder.assert_expr(
+                    or_(
+                        *[
+                            xor(
+                                var(frame_name(name, frame_a)),
+                                var(frame_name(name, frame_b)),
+                            )
+                            for name in register_names
+                        ]
+                    )
+                )
+        step_result = SatSolver(step.cnf).solve()
+        if not step_result.satisfiable:
+            return InductionResult(True, False, k, None, time.perf_counter() - start)
+
+    return InductionResult(False, False, max_k, None, time.perf_counter() - start)

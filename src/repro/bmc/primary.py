@@ -1,0 +1,78 @@
+"""The primary coverage question (Theorem 1) answered with the BMC backend.
+
+Theorem 1 reduces the coverage question to a single model-checking query:
+does any run of the concrete modules satisfy ``¬A ∧ R``?  The explicit-state
+form of that query lives in :mod:`repro.core.primary`; this module provides
+the SAT-based form.  Because BMC is bounded, the two possible answers differ
+in strength:
+
+* a witness run proves the decomposition is **not** covered (same strength as
+  the explicit engine), and
+* the absence of a witness up to ``max_bound`` reports *covered up to the
+  bound* — callers that need a full proof should use the explicit engine or
+  raise the bound beyond the diameter of the concrete modules.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.spec import CoverageProblem
+from ..ltl.ast import Formula, Not
+from ..ltl.traces import LassoTrace
+from .engine import BMCResult, BMCStatistics, find_run_bmc
+
+__all__ = ["BMCCoverageResult", "bmc_primary_coverage"]
+
+
+@dataclass
+class BMCCoverageResult:
+    """Outcome of the bounded primary coverage question."""
+
+    problem_name: str
+    covered_up_to_bound: bool
+    bound: int
+    witness: Optional[LassoTrace] = None
+    statistics: BMCStatistics = field(default_factory=BMCStatistics)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def not_covered(self) -> bool:
+        """True when a concrete refuting run was found (a definite answer)."""
+        return not self.covered_up_to_bound
+
+    def summary(self) -> str:
+        if self.covered_up_to_bound:
+            return (
+                f"{self.problem_name}: covered up to bound {self.bound} "
+                f"({self.statistics.sat_calls} SAT calls)"
+            )
+        return (
+            f"{self.problem_name}: NOT covered — refuting lasso of length "
+            f"{self.bound + 1} found ({self.statistics.sat_calls} SAT calls)"
+        )
+
+
+def bmc_primary_coverage(
+    problem: CoverageProblem,
+    *,
+    architectural: Optional[Formula] = None,
+    max_bound: int = 12,
+) -> BMCCoverageResult:
+    """Answer the primary coverage question with the SAT-based engine."""
+    problem.validate()
+    target = architectural if architectural is not None else problem.architectural_conjunction()
+    formulas: List[Formula] = [Not(target)] + problem.all_rtl_formulas()
+    start = time.perf_counter()
+    result: BMCResult = find_run_bmc(problem.composed_module(), formulas, max_bound=max_bound)
+    elapsed = time.perf_counter() - start
+    return BMCCoverageResult(
+        problem_name=problem.name,
+        covered_up_to_bound=not result.satisfiable,
+        bound=result.bound,
+        witness=result.witness,
+        statistics=result.statistics,
+        elapsed_seconds=elapsed,
+    )

@@ -1,0 +1,137 @@
+"""Command-line interface: ``specmatcher``.
+
+Sub-commands
+------------
+``specmatcher list``
+    List the built-in designs.
+``specmatcher check <design>``
+    Answer the primary coverage question for a built-in design.
+``specmatcher analyze <design>``
+    Run the full gap-finding pipeline and print the report.
+``specmatcher table1``
+    Regenerate the paper's Table 1 over the built-in suite.
+``specmatcher timing``
+    Print the Figure 3 timing diagrams from simulation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import CoverageOptions, analyze_problem, format_report, format_table1, primary_coverage_check
+from .designs import (
+    build_full_mal_fig2,
+    get_design,
+    design_names,
+    hit_scenario_stimulus,
+    miss_scenario_stimulus,
+    table1_designs,
+)
+from .rtl import Stimulus, render_waveform, simulate
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="specmatcher",
+        description="Design intent coverage with concrete RTL blocks (DATE 2006 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the built-in designs")
+
+    check_parser = sub.add_parser("check", help="primary coverage question for a design")
+    check_parser.add_argument("design", choices=design_names())
+
+    analyze_parser = sub.add_parser("analyze", help="full coverage-gap analysis for a design")
+    analyze_parser.add_argument("design", choices=design_names())
+    analyze_parser.add_argument("--max-witnesses", type=int, default=3)
+    analyze_parser.add_argument("--depth", type=int, default=5)
+    analyze_parser.add_argument("--no-witnesses", action="store_true", help="omit witness waveforms")
+
+    table_parser = sub.add_parser("table1", help="regenerate the paper's Table 1")
+    table_parser.add_argument("--max-witnesses", type=int, default=2)
+
+    sub.add_parser("timing", help="print the Figure 3 timing diagrams (MAL simulation)")
+    return parser
+
+
+def _cmd_list() -> int:
+    from .designs import CATALOG
+
+    for name in design_names():
+        entry = CATALOG[name]
+        verdict = "covered" if entry.expected_covered else "gap"
+        print(f"{name:<15} [{verdict:^7}] {entry.description}")
+    return 0
+
+
+def _cmd_check(design: str) -> int:
+    entry = get_design(design)
+    problem = entry.builder()
+    result = primary_coverage_check(problem)
+    print(f"design   : {problem.name}")
+    print(f"covered  : {result.covered}")
+    print(f"time     : {result.elapsed_seconds:.3f} s")
+    if not result.covered and result.witness is not None:
+        print("witness run (first cycles):")
+        table = result.witness.to_table(8)
+        from .rtl import render_table
+
+        print(render_table(table))
+    return 0 if result.covered == entry.expected_covered else 1
+
+
+def _cmd_analyze(design: str, max_witnesses: int, depth: int, show_witnesses: bool) -> int:
+    entry = get_design(design)
+    problem = entry.builder()
+    options = CoverageOptions(max_witnesses=max_witnesses, unfold_depth=depth)
+    report = analyze_problem(problem, options)
+    print(format_report(report, show_witnesses=show_witnesses))
+    return 0
+
+
+def _cmd_table1(max_witnesses: int) -> int:
+    rows = []
+    options = CoverageOptions(max_witnesses=max_witnesses)
+    for entry in table1_designs():
+        problem = entry.builder()
+        report = analyze_problem(problem, options)
+        rows.append(report.table1_row())
+    print(format_table1(rows))
+    return 0
+
+
+def _cmd_timing() -> int:
+    design = build_full_mal_fig2()
+    for title, stimulus in (
+        ("Figure 3(a): cache hit for r1", hit_scenario_stimulus()),
+        ("Figure 3(b): cache miss for r1", miss_scenario_stimulus()),
+    ):
+        trace = simulate(design, Stimulus.from_vectors(**stimulus), cycles=6)
+        print(title)
+        print(render_waveform(trace, ["r1", "r2", "n1", "n2", "g1", "g2", "hit", "wait", "d1", "d2"]))
+        print()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "check":
+        return _cmd_check(args.design)
+    if args.command == "analyze":
+        return _cmd_analyze(args.design, args.max_witnesses, args.depth, not args.no_witnesses)
+    if args.command == "table1":
+        return _cmd_table1(args.max_witnesses)
+    if args.command == "timing":
+        return _cmd_timing()
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,269 @@
+"""Algorithm 1: computing and representing the coverage gap.
+
+``find_coverage_gap`` analyses one architectural property ``F_A`` against the
+RTL specification (properties + concrete modules):
+
+1. build ``T_M`` from the concrete modules and form the exact hole
+   ``U = F_A | !(R & T_M)`` (Theorem 2),
+2. answer the primary coverage question (Theorem 1); if covered, stop,
+3. otherwise *unfold* the gap into bounded uncovered terms (witness runs
+   projected onto ``APR`` — steps 2(a)/2(b)),
+4. *push* the terms into the parse tree of ``F_A`` to locate the gap and the
+   candidate new literals (step 2(c)),
+5. *weaken* ``F_A`` with those literals, keep the weakest candidates that
+   provably close the gap (step 2(d)), and verify closure with Theorem 1.
+
+``analyze_problem`` runs the pipeline for every architectural property and
+aggregates the phase timings in the shape of the paper's Table 1 (primary
+coverage question time / ``T_M`` building time / gap finding time).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..ltl.ast import Formula
+from ..ltl.printer import to_str
+from .hole import CoverageHole, coverage_hole
+from .primary import PrimaryCoverageResult, is_covered_with, primary_coverage_check
+from .push import PushResult, push_terms
+from .spec import CoverageProblem
+from .terms import UncoveredTerms, uncovered_terms
+from .weaken import GapCandidate, generate_candidates, select_weakest
+
+__all__ = ["CoverageOptions", "GapAnalysis", "CoverageReport", "find_coverage_gap", "analyze_problem"]
+
+
+@dataclass
+class CoverageOptions:
+    """Tunables of the gap-finding pipeline."""
+
+    max_witnesses: int = 3
+    unfold_depth: int = 5
+    max_candidates: int = 48
+    max_closure_checks: int = 20
+    max_reported_gaps: int = 3
+    include_negated_literals: bool = True
+    verify_closure: bool = True
+    minimize_tm_guards: bool = True
+    restrict_to_free_signals: bool = True
+
+
+@dataclass
+class GapAnalysis:
+    """Result of Algorithm 1 for a single architectural property."""
+
+    property_formula: Formula
+    covered: bool
+    primary: PrimaryCoverageResult
+    hole: Optional[CoverageHole] = None
+    terms: Optional[UncoveredTerms] = None
+    push: Optional[PushResult] = None
+    gap_properties: List[GapCandidate] = field(default_factory=list)
+    gap_verified: bool = False
+    fallback_to_hole: bool = False
+    tm_seconds: float = 0.0
+    primary_seconds: float = 0.0
+    gap_seconds: float = 0.0
+
+    @property
+    def gap_formulas(self) -> List[Formula]:
+        return [candidate.formula for candidate in self.gap_properties]
+
+    def describe(self) -> str:
+        lines = [f"property: {to_str(self.property_formula)}"]
+        if self.covered:
+            lines.append("  covered by the RTL specification (primary question negative)")
+            return "\n".join(lines)
+        lines.append("  NOT covered; coverage gap:")
+        if self.gap_properties:
+            for candidate in self.gap_properties:
+                lines.append(f"    {to_str(candidate.formula)}")
+                lines.append(f"      ({candidate.description})")
+            lines.append(f"  gap closure verified: {self.gap_verified}")
+        elif self.hole is not None:
+            lines.append("    (no structure-preserving weakening found; exact hole reported)")
+            lines.append(f"    {to_str(self.hole.formula)}")
+        return "\n".join(lines)
+
+
+@dataclass
+class CoverageReport:
+    """Aggregate result of a SpecMatcher run over a whole problem."""
+
+    problem_name: str
+    rtl_property_count: int
+    analyses: List[GapAnalysis] = field(default_factory=list)
+    primary_seconds: float = 0.0
+    tm_seconds: float = 0.0
+    gap_seconds: float = 0.0
+
+    @property
+    def covered(self) -> bool:
+        return all(analysis.covered for analysis in self.analyses)
+
+    def table1_row(self) -> Dict[str, object]:
+        """The paper's Table 1 row for this run."""
+        return {
+            "circuit": self.problem_name,
+            "rtl_properties": self.rtl_property_count,
+            "primary_coverage_seconds": round(self.primary_seconds, 3),
+            "tm_building_seconds": round(self.tm_seconds, 3),
+            "gap_finding_seconds": round(self.gap_seconds, 3),
+        }
+
+    def describe(self) -> str:
+        lines = [
+            f"== SpecMatcher report for {self.problem_name} ==",
+            f"RTL properties: {self.rtl_property_count}",
+            f"covered: {self.covered}",
+            f"primary coverage question: {self.primary_seconds:.3f} s",
+            f"T_M building: {self.tm_seconds:.3f} s",
+            f"gap finding: {self.gap_seconds:.3f} s",
+        ]
+        for analysis in self.analyses:
+            lines.append(analysis.describe())
+        return "\n".join(lines)
+
+
+def find_coverage_gap(
+    problem: CoverageProblem,
+    architectural: Formula,
+    options: Optional[CoverageOptions] = None,
+) -> GapAnalysis:
+    """Run Algorithm 1 for a single architectural property."""
+    options = options or CoverageOptions()
+
+    # Step 1: T_M and the exact hole.
+    tm_start = time.perf_counter()
+    hole = coverage_hole(
+        problem, architectural=architectural, minimize_guards=options.minimize_tm_guards
+    )
+    tm_seconds = time.perf_counter() - tm_start
+
+    # Step 2 guard: the primary coverage question for this property.
+    primary = primary_coverage_check(problem, architectural=architectural)
+    if primary.covered:
+        return GapAnalysis(
+            property_formula=architectural,
+            covered=True,
+            primary=primary,
+            hole=hole,
+            tm_seconds=tm_seconds,
+            primary_seconds=primary.elapsed_seconds,
+        )
+
+    gap_start = time.perf_counter()
+    # Steps 2(a)/(b): uncovered terms from witness runs, projected onto APR/APA.
+    terms = uncovered_terms(
+        problem,
+        architectural=architectural,
+        max_witnesses=options.max_witnesses,
+        depth=options.unfold_depth,
+    )
+    # Step 2(c): push the terms into the parse tree.
+    push = push_terms(architectural, terms.terms)
+    # Step 2(d): weaken and keep the weakest closing candidates.  Suggestions
+    # whose new literal is a signal *driven* by the concrete modules are
+    # dropped by default: such literals merely restate the RTL and lead to
+    # candidates equivalent to the original property.  Free signals (module
+    # inputs and the signals of the property-specified sub-modules) are where
+    # genuine environment/scenario restrictions live.
+    suggestions = push.suggestions
+    if options.restrict_to_free_signals:
+        driven = set(problem.composed_module().assigns) | set(
+            problem.composed_module().registers
+        )
+        free_suggestions = [s for s in suggestions if s.literal_name not in driven]
+        if free_suggestions:
+            suggestions = free_suggestions
+    candidates = generate_candidates(
+        architectural,
+        suggestions,
+        include_negated_literals=options.include_negated_literals,
+        max_candidates=options.max_candidates,
+    )
+    # Cheap necessary-condition filter before the expensive closure checks: a
+    # candidate can only close the gap if every collected witness run violates
+    # it (otherwise that witness remains admissible after adding it).
+    from ..ltl.traces import evaluate as evaluate_on_trace
+
+    filtered = [
+        candidate
+        for candidate in candidates
+        if all(not evaluate_on_trace(candidate.formula, witness) for witness in terms.witnesses)
+    ]
+    if filtered:
+        candidates = filtered
+    candidates = candidates[: options.max_closure_checks]
+
+    def closes(candidate: Formula) -> bool:
+        return is_covered_with(problem, [candidate], architectural=architectural)
+
+    gap_properties = select_weakest(
+        architectural,
+        candidates,
+        closes,
+        max_reported=options.max_reported_gaps,
+    )
+
+    fallback = False
+    if not gap_properties:
+        # No structure-preserving weakening closes the hole; fall back to the
+        # exact hole formula of Theorem 2 (always closes by construction).
+        fallback = True
+
+    gap_verified = False
+    if options.verify_closure:
+        if gap_properties:
+            gap_verified = is_covered_with(
+                problem,
+                [candidate.formula for candidate in gap_properties[:1]],
+                architectural=architectural,
+            )
+        else:
+            from .hole import hole_closes_gap
+
+            gap_verified = hole_closes_gap(problem, hole)
+    gap_seconds = time.perf_counter() - gap_start
+
+    return GapAnalysis(
+        property_formula=architectural,
+        covered=False,
+        primary=primary,
+        hole=hole,
+        terms=terms,
+        push=push,
+        gap_properties=gap_properties,
+        gap_verified=gap_verified,
+        fallback_to_hole=fallback,
+        tm_seconds=tm_seconds,
+        primary_seconds=primary.elapsed_seconds,
+        gap_seconds=gap_seconds,
+    )
+
+
+def analyze_problem(
+    problem: CoverageProblem,
+    options: Optional[CoverageOptions] = None,
+) -> CoverageReport:
+    """Run the full SpecMatcher pipeline on a coverage problem."""
+    options = options or CoverageOptions()
+    problem.validate()
+
+    report = CoverageReport(
+        problem_name=problem.name,
+        rtl_property_count=problem.rtl_property_count,
+    )
+    for architectural in problem.architectural:
+        analysis = find_coverage_gap(problem, architectural, options)
+        report.analyses.append(analysis)
+        report.primary_seconds += analysis.primary_seconds
+        report.gap_seconds += analysis.gap_seconds
+    # T_M is built once per problem in practice; report the maximum single
+    # build time rather than the sum of identical rebuilds.
+    if report.analyses:
+        report.tm_seconds = max(analysis.tm_seconds for analysis in report.analyses)
+    return report

@@ -1,0 +1,82 @@
+"""The primary coverage question (Theorem 1).
+
+    The RTL specification (properties R and concrete modules M) covers the
+    architectural intent A  iff  the temporal property ``!A & R`` is false
+    in M.
+
+Operationally: search for a run of the concrete modules that satisfies every
+RTL property but refutes the architectural intent.  If such a run exists the
+intent is *not* covered and the run is returned as a witness (the start of the
+gap analysis); if no such run exists, coverage is proved.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..ltl.ast import Formula, Not
+from ..ltl.traces import LassoTrace
+from ..mc.modelcheck import ExistentialResult, find_run
+from ..mc.product import ProductStatistics
+from .spec import CoverageProblem
+
+__all__ = ["PrimaryCoverageResult", "primary_coverage_check", "is_covered_with"]
+
+
+@dataclass
+class PrimaryCoverageResult:
+    """Outcome of the primary coverage question for one problem."""
+
+    problem_name: str
+    covered: bool
+    witness: Optional[LassoTrace] = None
+    elapsed_seconds: float = 0.0
+    statistics: ProductStatistics = field(default_factory=ProductStatistics)
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.covered
+
+
+def primary_coverage_check(
+    problem: CoverageProblem,
+    *,
+    architectural: Optional[Formula] = None,
+) -> PrimaryCoverageResult:
+    """Answer the primary coverage question for the problem.
+
+    ``architectural`` restricts the check to a single architectural property
+    (Algorithm 1 analyses the intent property by property); by default the
+    conjunction of the whole intent is used.
+    """
+    problem.validate()
+    target = architectural if architectural is not None else problem.architectural_conjunction()
+    formulas: List[Formula] = [Not(target)] + problem.all_rtl_formulas()
+    start = time.perf_counter()
+    result = find_run(problem.composed_module(), formulas)
+    elapsed = time.perf_counter() - start
+    return PrimaryCoverageResult(
+        problem_name=problem.name,
+        covered=not result.satisfiable,
+        witness=result.witness,
+        elapsed_seconds=elapsed,
+        statistics=result.statistics,
+    )
+
+
+def is_covered_with(
+    problem: CoverageProblem,
+    extra_properties: Sequence[Formula],
+    *,
+    architectural: Optional[Formula] = None,
+) -> bool:
+    """Theorem 1 with additional candidate properties added to the RTL spec.
+
+    This is the closure check used by the gap-finding algorithm: a candidate
+    gap property ``G`` closes the hole iff ``(R & G) & !A`` is false in ``M``.
+    """
+    target = architectural if architectural is not None else problem.architectural_conjunction()
+    formulas: List[Formula] = [Not(target)] + problem.all_rtl_formulas() + list(extra_properties)
+    result = find_run(problem.composed_module(), formulas)
+    return not result.satisfiable

@@ -1,0 +1,234 @@
+"""Pushing uncovered terms into the architectural property's parse tree.
+
+Step 2(c) of Algorithm 1 (illustrated by the paper's Figure 6) distributes the
+bounded uncovered terms over the syntactic structure of the architectural
+property ``F_A``: every timed literal of a term either *matches* an atom
+instance of ``F_A`` (same signal, compatible time offset) or is a *new*
+literal that ``F_A`` does not constrain.  New literals concentrated around an
+atom instance that sits under an unbounded operator (``U``, ``G``, ``F``)
+pinpoint both *where* the gap lies and *which* signal should be used to weaken
+the property — the input to the weakening heuristics of step 2(d).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..ltl.ast import (
+    Always,
+    And,
+    Atom,
+    Eventually,
+    FalseFormula,
+    Formula,
+    Iff,
+    Implies,
+    Next,
+    Not,
+    Or,
+    Release,
+    TrueFormula,
+    Until,
+    WeakUntil,
+)
+from ..ltl.printer import to_str
+from ..ltl.unfold import TemporalTerm
+
+__all__ = [
+    "AtomInstance",
+    "WeakeningSuggestion",
+    "PushResult",
+    "atom_instance_table",
+    "push_terms",
+    "render_push",
+]
+
+
+@dataclass(frozen=True)
+class AtomInstance:
+    """One occurrence of an atom inside the architectural property."""
+
+    path: Tuple[int, ...]
+    name: str
+    min_offset: int
+    polarity: int
+    under_unbounded: bool
+
+
+@dataclass(frozen=True)
+class WeakeningSuggestion:
+    """A candidate weakening: augment ``instance`` with ``literal`` (maybe under X)."""
+
+    instance: AtomInstance
+    literal_name: str
+    literal_value: bool
+    x_offset: int  # 0: same cycle as the instance, 1: one cycle later (X literal)
+    support: int = 1  # in how many uncovered terms the literal was observed
+
+    def describe(self) -> str:
+        literal = self.literal_name if self.literal_value else f"!{self.literal_name}"
+        prefix = "X " * self.x_offset
+        return (
+            f"strengthen instance {self.instance.name!r} at offset {self.instance.min_offset} "
+            f"with {prefix}{literal}"
+        )
+
+
+@dataclass
+class PushResult:
+    """Outcome of pushing a set of terms into one architectural property."""
+
+    formula: Formula
+    instances: List[AtomInstance] = field(default_factory=list)
+    matched: Dict[Tuple[int, ...], List[Tuple[int, str, bool]]] = field(default_factory=dict)
+    new_literals: List[Tuple[int, str, bool]] = field(default_factory=list)
+    suggestions: List[WeakeningSuggestion] = field(default_factory=list)
+
+
+def atom_instance_table(formula: Formula) -> List[AtomInstance]:
+    """Enumerate atom instances with their nominal offsets and polarities.
+
+    The *nominal offset* counts the ``X`` operators on the path from the root
+    (the earliest cycle, relative to the property's evaluation point, at which
+    the instance can be observed); instances under ``U``/``G``/``F``/``W``/``R``
+    are flagged so matching can allow later offsets too.
+    """
+    instances: List[AtomInstance] = []
+
+    def walk(node: Formula, path: Tuple[int, ...], offset: int, polarity: int, unbounded: bool) -> None:
+        if isinstance(node, Atom):
+            instances.append(AtomInstance(path, node.name, offset, polarity, unbounded))
+            return
+        if isinstance(node, (TrueFormula, FalseFormula)):
+            return
+        if isinstance(node, Not):
+            walk(node.operand, path + (0,), offset, -polarity, unbounded)
+            return
+        if isinstance(node, Next):
+            walk(node.operand, path + (0,), offset + 1, polarity, unbounded)
+            return
+        if isinstance(node, (Always, Eventually)):
+            walk(node.operand, path + (0,), offset, polarity, True)
+            return
+        if isinstance(node, Implies):
+            walk(node.left, path + (0,), offset, -polarity, unbounded)
+            walk(node.right, path + (1,), offset, polarity, unbounded)
+            return
+        if isinstance(node, Iff):
+            # Both polarities: conservatively mark polarity 0 (skip weakening here).
+            walk(node.left, path + (0,), offset, 0, unbounded)
+            walk(node.right, path + (1,), offset, 0, unbounded)
+            return
+        if isinstance(node, (And, Or)):
+            walk(node.left, path + (0,), offset, polarity, unbounded)
+            walk(node.right, path + (1,), offset, polarity, unbounded)
+            return
+        if isinstance(node, (Until, Release, WeakUntil)):
+            walk(node.left, path + (0,), offset, polarity, True)
+            walk(node.right, path + (1,), offset, polarity, True)
+            return
+        raise TypeError(f"unknown formula node {type(node).__name__}")
+
+    walk(formula, (), 0, 1, False)
+    return instances
+
+
+def _matches(instance: AtomInstance, offset: int, name: str) -> bool:
+    if instance.name != name:
+        return False
+    if instance.min_offset == offset:
+        return True
+    return instance.under_unbounded and offset >= instance.min_offset
+
+
+def push_terms(formula: Formula, terms: Sequence[TemporalTerm]) -> PushResult:
+    """Distribute uncovered terms over the property's parse tree (step 2(c))."""
+    instances = atom_instance_table(formula)
+    result = PushResult(formula=formula, instances=instances)
+
+    new_literal_counts: Dict[Tuple[int, str, bool], int] = {}
+    for term in terms:
+        for offset, name, value in term.literals():
+            candidates = [inst for inst in instances if _matches(inst, offset, name)]
+            if candidates:
+                for instance in candidates:
+                    result.matched.setdefault(instance.path, []).append((offset, name, value))
+            else:
+                key = (offset, name, value)
+                new_literal_counts[key] = new_literal_counts.get(key, 0) + 1
+
+    result.new_literals = sorted(new_literal_counts.keys())
+
+    # Turn the new literals into weakening suggestions anchored at instances
+    # that live at a compatible offset; prefer instances under an unbounded
+    # operator (that is where the paper's heuristics aim).
+    for (offset, name, value), support in sorted(new_literal_counts.items()):
+        anchors: List[Tuple[AtomInstance, int]] = []
+        for instance in instances:
+            if instance.name == name:
+                continue  # never anchor a literal on itself
+            if instance.polarity == 0:
+                continue
+            if instance.min_offset == offset:
+                anchors.append((instance, 0))
+            elif instance.min_offset == offset - 1:
+                anchors.append((instance, 1))
+            elif instance.under_unbounded and offset >= instance.min_offset:
+                anchors.append((instance, 0))
+        # Prefer unbounded-context anchors, then antecedent (negative) polarity.
+        anchors.sort(
+            key=lambda pair: (
+                not pair[0].under_unbounded,
+                pair[0].polarity > 0,
+                pair[1],
+                pair[0].path,
+            )
+        )
+        seen: Set[Tuple[Tuple[int, ...], int]] = set()
+        per_literal = 0
+        for instance, x_offset in anchors:
+            key = (instance.path, x_offset)
+            if key in seen:
+                continue
+            seen.add(key)
+            result.suggestions.append(
+                WeakeningSuggestion(
+                    instance=instance,
+                    literal_name=name,
+                    literal_value=value,
+                    x_offset=x_offset,
+                    support=support,
+                )
+            )
+            per_literal += 1
+            if per_literal >= 3:
+                break
+    return result
+
+
+def render_push(result: PushResult) -> str:
+    """Human-readable rendering of the push analysis (the paper's Figure 6 in text)."""
+    lines = [f"architectural property: {to_str(result.formula)}"]
+    lines.append("atom instances:")
+    for instance in result.instances:
+        context = "unbounded" if instance.under_unbounded else "bounded"
+        polarity = {1: "+", -1: "-", 0: "±"}[instance.polarity if instance.polarity in (1, -1, 0) else 0]
+        matched = result.matched.get(instance.path, [])
+        matched_text = ", ".join(
+            f"X^{offset} {'!' if not value else ''}{name}" for offset, name, value in matched
+        )
+        lines.append(
+            f"  [{polarity}] {instance.name} @ offset {instance.min_offset} ({context})"
+            + (f"  <= matches: {matched_text}" if matched_text else "")
+        )
+    if result.new_literals:
+        lines.append("new literals (not constrained by the property):")
+        for offset, name, value in result.new_literals:
+            literal = name if value else f"!{name}"
+            lines.append(f"  X^{offset} {literal}")
+    if result.suggestions:
+        lines.append("weakening suggestions:")
+        for suggestion in result.suggestions:
+            lines.append(f"  {suggestion.describe()} (support={suggestion.support})")
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Textual reporting: coverage reports, Table-1 style summaries, waveforms."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..ltl.printer import to_str
+from ..rtl.waveform import render_table
+from .coverage import CoverageReport, GapAnalysis
+
+__all__ = ["format_report", "format_table1", "format_gap_analysis"]
+
+
+def format_gap_analysis(analysis: GapAnalysis, *, show_witnesses: bool = True, cycles: int = 8) -> str:
+    """Detailed report for a single architectural property."""
+    lines = [analysis.describe()]
+    if not analysis.covered and analysis.terms is not None:
+        if analysis.terms.terms:
+            lines.append("  uncovered terms (over APR):")
+            for term in analysis.terms.terms:
+                lines.append(f"    {term.to_str()}")
+        if analysis.terms.architectural_terms:
+            lines.append("  uncovered terms (over APA):")
+            for term in analysis.terms.architectural_terms:
+                lines.append(f"    {term.to_str()}")
+        if show_witnesses and analysis.terms.witnesses:
+            lines.append("  first witness run (gap scenario):")
+            witness = analysis.terms.witnesses[0]
+            table = witness.to_table(cycles)
+            lines.append(_indent(render_table(table), 4))
+    return "\n".join(lines)
+
+
+def format_report(report: CoverageReport, *, show_witnesses: bool = True) -> str:
+    """Full textual report for a SpecMatcher run."""
+    lines = [
+        f"== SpecMatcher report: {report.problem_name} ==",
+        f"RTL properties           : {report.rtl_property_count}",
+        f"architectural properties : {len(report.analyses)}",
+        f"covered                  : {report.covered}",
+        "timings (seconds):",
+        f"  primary coverage question : {report.primary_seconds:.3f}",
+        f"  T_M building              : {report.tm_seconds:.3f}",
+        f"  gap finding               : {report.gap_seconds:.3f}",
+        "",
+    ]
+    for analysis in report.analyses:
+        lines.append(format_gap_analysis(analysis, show_witnesses=show_witnesses))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def format_table1(rows: Sequence[Dict[str, object]]) -> str:
+    """Render Table-1 style rows (one per design) as an aligned text table."""
+    headers = [
+        ("circuit", "Circuit"),
+        ("rtl_properties", "No. of RTL properties"),
+        ("primary_coverage_seconds", "Primary Coverage (s)"),
+        ("tm_building_seconds", "TM building (s)"),
+        ("gap_finding_seconds", "Gap Finding (s)"),
+    ]
+    widths = {key: len(title) for key, title in headers}
+    for row in rows:
+        for key, _ in headers:
+            widths[key] = max(widths[key], len(str(row.get(key, ""))))
+    header_line = "  ".join(title.ljust(widths[key]) for key, title in headers)
+    separator = "-" * len(header_line)
+    lines = [header_line, separator]
+    for row in rows:
+        lines.append("  ".join(str(row.get(key, "")).ljust(widths[key]) for key, _ in headers))
+    return "\n".join(lines)
+
+
+def _indent(text: str, spaces: int) -> str:
+    prefix = " " * spaces
+    return "\n".join(prefix + line for line in text.splitlines())

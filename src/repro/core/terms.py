@@ -1,0 +1,109 @@
+"""Uncovered-term computation (Algorithm 1, steps 2(a) and 2(b)).
+
+The coverage hole of Theorem 2 is exact but opaque.  The first step towards a
+legible gap is to *unfold* it into bounded **uncovered terms**: finite
+conjunctions of timed literals describing concrete scenarios that the RTL
+specification admits but the architectural intent forbids (the paper's
+``UM = { !r1 & X r2 & X X !hit & X d1, ... }``).
+
+Two mechanisms are combined:
+
+* **witness enumeration** — repeated existential model-checking queries
+  (Theorem 1) produce distinct gap runs; each run's bounded prefix becomes a
+  term.  New queries exclude the terms already found, so successive witnesses
+  explore genuinely different scenarios.
+* **quantification (step 2(b))** — the terms are projected onto ``APR``
+  (dropping the concrete modules' internal signals, the paper's "local RTL
+  variables") and, for the uncovered *architectural* intent, onto ``APA``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..ltl.ast import Formula, Not
+from ..ltl.traces import LassoTrace
+from ..ltl.unfold import TemporalTerm, term_from_trace
+from ..mc.modelcheck import find_run
+from .spec import CoverageProblem
+
+__all__ = ["UncoveredTerms", "collect_gap_witnesses", "uncovered_terms"]
+
+
+@dataclass
+class UncoveredTerms:
+    """The result of the term-extraction phase."""
+
+    witnesses: List[LassoTrace] = field(default_factory=list)
+    terms: List[TemporalTerm] = field(default_factory=list)
+    architectural_terms: List[TemporalTerm] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    def is_empty(self) -> bool:
+        return not self.terms
+
+
+def collect_gap_witnesses(
+    problem: CoverageProblem,
+    *,
+    architectural: Optional[Formula] = None,
+    max_witnesses: int = 4,
+    depth: int = 5,
+) -> List[LassoTrace]:
+    """Enumerate distinct runs admitted by ``R`` + concrete modules but refuting ``A``.
+
+    Each new query excludes the bounded prefixes of the witnesses found so
+    far, so the enumeration keeps producing genuinely different scenarios
+    until either no further run exists or ``max_witnesses`` is reached.
+    """
+    target = architectural if architectural is not None else problem.architectural_conjunction()
+    base_formulas: List[Formula] = [Not(target)] + problem.all_rtl_formulas()
+    module = problem.composed_module()
+    apr = sorted(problem.apr)
+
+    witnesses: List[LassoTrace] = []
+    exclusions: List[Formula] = []
+    for _ in range(max_witnesses):
+        result = find_run(module, base_formulas + exclusions)
+        if not result.satisfiable or result.witness is None:
+            break
+        witnesses.append(result.witness)
+        observed = term_from_trace(result.witness, depth, apr).strip_trailing_empty()
+        if observed.is_trivial():
+            break
+        exclusions.append(Not(observed.to_formula()))
+    return witnesses
+
+
+def uncovered_terms(
+    problem: CoverageProblem,
+    *,
+    architectural: Optional[Formula] = None,
+    max_witnesses: int = 4,
+    depth: int = 5,
+) -> UncoveredTerms:
+    """Steps 2(a)+(b) of Algorithm 1: bounded uncovered terms over ``APR`` and ``APA``."""
+    start = time.perf_counter()
+    witnesses = collect_gap_witnesses(
+        problem, architectural=architectural, max_witnesses=max_witnesses, depth=depth
+    )
+    apr = problem.apr
+    apa = problem.apa
+    terms: List[TemporalTerm] = []
+    architectural_terms: List[TemporalTerm] = []
+    for witness in witnesses:
+        full_term = term_from_trace(witness, depth)
+        term_apr = full_term.project(apr).strip_trailing_empty()
+        term_apa = full_term.project(apa).strip_trailing_empty()
+        if not term_apr.is_trivial() and term_apr not in terms:
+            terms.append(term_apr)
+        if not term_apa.is_trivial() and term_apa not in architectural_terms:
+            architectural_terms.append(term_apa)
+    return UncoveredTerms(
+        witnesses=witnesses,
+        terms=terms,
+        architectural_terms=architectural_terms,
+        elapsed_seconds=time.perf_counter() - start,
+    )

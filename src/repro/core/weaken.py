@@ -1,0 +1,171 @@
+"""Structure-preserving weakening of architectural properties (step 2(d)).
+
+Given the architectural property ``F_A`` and the weakening suggestions
+produced by the push phase, this module builds candidate gap properties by
+augmenting a single atom *instance* of ``F_A`` with a new literal:
+
+* an instance in a **negative** polarity position (an antecedent) is
+  strengthened — ``a`` becomes ``a & lit`` — which *weakens* the overall
+  property,
+* an instance in a **positive** polarity position (a consequent) is replaced
+  by ``a | lit`` — likewise weakening the property.
+
+This is exactly the paper's ``phi' / phi''`` construction: the two polarities
+of the candidate literal give the two conjuncts whose conjunction is the
+original property, and the one that is still uncovered is reported as the gap.
+
+Every candidate is then
+
+1. checked to be genuinely *weaker* than ``F_A`` (an LTL implication check),
+2. checked to *close the gap* — Theorem 1 with the candidate added to the RTL
+   specification, and
+3. filtered so only the weakest closing candidates survive (Definition 3 asks
+   for the weakest property that closes the hole).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..ltl.ast import And, Atom, Formula, Next, Not, Or
+from ..ltl.printer import to_str
+from ..ltl.rewrite import simplify, substitute_atom_instance
+from ..ltl.sat import implies as ltl_implies
+from .push import AtomInstance, WeakeningSuggestion
+
+__all__ = ["GapCandidate", "apply_weakening", "generate_candidates", "select_weakest"]
+
+
+@dataclass(frozen=True)
+class GapCandidate:
+    """A candidate gap property derived from one weakening suggestion."""
+
+    formula: Formula
+    suggestion: WeakeningSuggestion
+    description: str
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return to_str(self.formula)
+
+
+def _literal_formula(name: str, value: bool, x_offset: int) -> Formula:
+    literal: Formula = Atom(name) if value else Not(Atom(name))
+    for _ in range(x_offset):
+        literal = Next(literal)
+    return literal
+
+
+def apply_weakening(formula: Formula, suggestion: WeakeningSuggestion) -> Formula:
+    """Apply one weakening suggestion to the property and return the result."""
+    instance = suggestion.instance
+    literal = _literal_formula(suggestion.literal_name, suggestion.literal_value, suggestion.x_offset)
+    original = Atom(instance.name)
+    if instance.polarity < 0:
+        replacement: Formula = And(original, literal)
+    else:
+        replacement = Or(original, literal)
+    return simplify(substitute_atom_instance(formula, instance.path, replacement))
+
+
+def generate_candidates(
+    formula: Formula,
+    suggestions: Sequence[WeakeningSuggestion],
+    *,
+    include_negated_literals: bool = True,
+    max_candidates: int = 64,
+) -> List[GapCandidate]:
+    """Build candidate gap properties from the suggestions.
+
+    For every suggestion the observed literal polarity is tried first; with
+    ``include_negated_literals`` the opposite polarity is also generated (the
+    paper's ``phi'``/``phi''`` pair) so that whichever half is uncovered can be
+    reported.
+    """
+    candidates: List[GapCandidate] = []
+    seen = set()
+    for suggestion in suggestions:
+        polarities = [suggestion.literal_value]
+        if include_negated_literals:
+            polarities.append(not suggestion.literal_value)
+        for value in polarities:
+            adjusted = WeakeningSuggestion(
+                instance=suggestion.instance,
+                literal_name=suggestion.literal_name,
+                literal_value=value,
+                x_offset=suggestion.x_offset,
+                support=suggestion.support,
+            )
+            weakened = apply_weakening(formula, adjusted)
+            if weakened == formula or weakened in seen:
+                continue
+            seen.add(weakened)
+            candidates.append(
+                GapCandidate(
+                    formula=weakened,
+                    suggestion=adjusted,
+                    description=adjusted.describe(),
+                )
+            )
+            if len(candidates) >= max_candidates:
+                return candidates
+    return candidates
+
+
+def select_weakest(
+    original: Formula,
+    candidates: Sequence[GapCandidate],
+    closes_gap: Callable[[Formula], bool],
+    *,
+    require_weaker: bool = True,
+    max_reported: int = 4,
+) -> List[GapCandidate]:
+    """Filter candidates to the weakest ones that close the coverage gap.
+
+    ``closes_gap`` is the model-relative Theorem-1 check supplied by the
+    coverage driver.  Candidates that are not implied by the original property
+    are discarded when ``require_weaker`` is set (they would strengthen the
+    intent rather than decompose it).
+    """
+    closing: List[GapCandidate] = []
+    for candidate in candidates:
+        if require_weaker:
+            if not ltl_implies(original, candidate.formula):
+                continue
+            # A candidate equivalent to the original is useless as a gap
+            # property (the original always closes its own gap); Definition 3
+            # asks for something strictly weaker.
+            if ltl_implies(candidate.formula, original):
+                continue
+        if closes_gap(candidate.formula):
+            closing.append(candidate)
+
+    # Keep only maximally weak candidates: drop any candidate for which another
+    # closing candidate is strictly weaker.
+    weakest: List[GapCandidate] = []
+    for candidate in closing:
+        dominated = False
+        for other in closing:
+            if other.formula == candidate.formula:
+                continue
+            if ltl_implies(candidate.formula, other.formula) and not ltl_implies(
+                other.formula, candidate.formula
+            ):
+                dominated = True
+                break
+        if not dominated:
+            weakest.append(candidate)
+
+    # Deduplicate semantically equivalent survivors (keep the first).
+    unique: List[GapCandidate] = []
+    for candidate in weakest:
+        if any(
+            ltl_implies(candidate.formula, kept.formula)
+            and ltl_implies(kept.formula, candidate.formula)
+            for kept in unique
+        ):
+            continue
+        unique.append(candidate)
+        if len(unique) >= max_reported:
+            break
+    return unique

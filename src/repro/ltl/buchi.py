@@ -1,0 +1,434 @@
+"""Büchi automata with generalized acceptance.
+
+The tableau construction (:mod:`repro.ltl.tableau`) produces a *state-labelled
+generalized Büchi automaton* (GBA): each state carries a set of literals that
+must hold of the word position read when entering the state, and acceptance is
+a family of state sets each of which must be visited infinitely often.
+
+The same class is reused for products with Kripke structures (the model
+checker builds a product GBA whose labels are full signal valuations), so the
+emptiness check and accepting-lasso extraction implemented here are the single
+engine behind LTL satisfiability, validity, implication and model-checking
+queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+__all__ = ["Literal", "GeneralizedBuchi", "BuchiAutomaton", "AcceptingLasso"]
+
+# A literal is (atom name, polarity).
+Literal = Tuple[str, bool]
+
+
+@dataclass(frozen=True)
+class AcceptingLasso:
+    """An accepting run presented as a stem and a loop of automaton states."""
+
+    stem: Tuple[int, ...]
+    loop: Tuple[int, ...]
+
+    def states(self) -> Tuple[int, ...]:
+        return self.stem + self.loop
+
+
+@dataclass
+class GeneralizedBuchi:
+    """State-labelled generalized Büchi automaton.
+
+    Attributes
+    ----------
+    labels:
+        Maps each state to the set of literals that must hold of the alphabet
+        letter read when the automaton *enters* the state.
+    initial:
+        Set of initial states.
+    transitions:
+        Adjacency map ``state -> successor states``.
+    acceptance:
+        List of acceptance sets; a run is accepting when it visits every set
+        infinitely often.  An empty list means every infinite run is accepting.
+    annotations:
+        Optional per-state payload (used by products to remember the Kripke
+        state / full signal valuation behind an automaton state).
+    """
+
+    labels: Dict[int, FrozenSet[Literal]] = field(default_factory=dict)
+    initial: Set[int] = field(default_factory=set)
+    transitions: Dict[int, Set[int]] = field(default_factory=dict)
+    acceptance: List[FrozenSet[int]] = field(default_factory=list)
+    annotations: Dict[int, object] = field(default_factory=dict)
+
+    # -- construction helpers -------------------------------------------------
+    def add_state(
+        self,
+        state: int,
+        label: Iterable[Literal] = (),
+        initial: bool = False,
+        annotation: object = None,
+    ) -> int:
+        self.labels[state] = frozenset(label)
+        self.transitions.setdefault(state, set())
+        if initial:
+            self.initial.add(state)
+        if annotation is not None:
+            self.annotations[state] = annotation
+        return state
+
+    def add_transition(self, source: int, target: int) -> None:
+        self.transitions.setdefault(source, set()).add(target)
+        self.transitions.setdefault(target, set())
+        if source not in self.labels:
+            self.labels[source] = frozenset()
+        if target not in self.labels:
+            self.labels[target] = frozenset()
+
+    # -- basic queries ----------------------------------------------------------
+    @property
+    def states(self) -> Tuple[int, ...]:
+        return tuple(self.labels.keys())
+
+    def state_count(self) -> int:
+        return len(self.labels)
+
+    def transition_count(self) -> int:
+        return sum(len(targets) for targets in self.transitions.values())
+
+    def successors(self, state: int) -> FrozenSet[int]:
+        return frozenset(self.transitions.get(state, set()))
+
+    def reachable_states(self) -> Set[int]:
+        seen: Set[int] = set()
+        stack = list(self.initial)
+        while stack:
+            state = stack.pop()
+            if state in seen:
+                continue
+            seen.add(state)
+            stack.extend(self.transitions.get(state, set()))
+        return seen
+
+    # -- emptiness ---------------------------------------------------------------
+    def is_empty(self) -> bool:
+        """True when the automaton accepts no word."""
+        return self.accepting_lasso() is None
+
+    def accepting_lasso(self) -> Optional[AcceptingLasso]:
+        """Return an accepting lasso, or ``None`` when the language is empty.
+
+        Uses a Tarjan SCC decomposition restricted to reachable states: an
+        accepting run exists iff some reachable SCC (i) contains at least one
+        transition and (ii) intersects every acceptance set.  The lasso is then
+        assembled from a shortest path to the SCC and a cycle inside it that
+        touches one state of each acceptance set.
+        """
+        reachable = self.reachable_states()
+        if not reachable:
+            return None
+        sccs = _tarjan_sccs(reachable, self.transitions)
+        for component in sccs:
+            if not _is_nontrivial(component, self.transitions):
+                continue
+            if all(component & accept_set for accept_set in self.acceptance):
+                return self._build_lasso(component)
+        return None
+
+    def _build_lasso(self, component: Set[int]) -> AcceptingLasso:
+        entry, stem = _shortest_path_to(self.initial, component, self.transitions)
+        loop = _fair_cycle(entry, component, self.acceptance, self.transitions)
+        return AcceptingLasso(tuple(stem), tuple(loop))
+
+    # -- transformations --------------------------------------------------------------
+    def degeneralize(self) -> "BuchiAutomaton":
+        """Counter construction turning generalized acceptance into plain Büchi.
+
+        States of the result are ``(state, layer)`` pairs where the layer
+        tracks which acceptance sets have been visited since the last time all
+        of them were seen.  Layer 0 is the accepting layer.
+        """
+        acceptance: List[Set[int]] = [set(acc) for acc in self.acceptance]
+        result = BuchiAutomaton()
+        mapping: Dict[Tuple[int, int], int] = {}
+
+        def get(state: int, layer: int) -> int:
+            key = (state, layer)
+            if key not in mapping:
+                new_id = len(mapping)
+                mapping[key] = new_id
+                result.add_state(
+                    new_id,
+                    self.labels[state],
+                    accepting=(layer == 0),
+                    annotation=self.annotations.get(state),
+                )
+            return mapping[key]
+
+        queue: List[Tuple[int, int]] = []
+        for state in self.initial:
+            layer = _next_layer(0, state, acceptance)
+            ident = get(state, layer)
+            result.initial.add(ident)
+            queue.append((state, layer))
+        visited = set(queue)
+        while queue:
+            state, layer = queue.pop()
+            source_id = get(state, layer)
+            for target in self.transitions.get(state, set()):
+                target_layer = _next_layer(layer, target, acceptance)
+                target_id = get(target, target_layer)
+                result.add_transition(source_id, target_id)
+                if (target, target_layer) not in visited:
+                    visited.add((target, target_layer))
+                    queue.append((target, target_layer))
+        return result
+
+
+def _next_layer(layer: int, state: int, acceptance: List[Set[int]]) -> int:
+    """Layer update for the degeneralisation counter construction.
+
+    Layer ``i > 0`` means "waiting to see a state of acceptance set ``i-1``";
+    layer 0 is the accepting layer and restarts the scan.  Entering ``state``
+    advances through every consecutive acceptance set it belongs to.
+    """
+    count = len(acceptance)
+    if count == 0:
+        return 0
+    scanning = 0 if layer == 0 else layer - 1
+    while scanning < count and state in acceptance[scanning]:
+        scanning += 1
+    if scanning >= count:
+        return 0
+    return scanning + 1
+
+
+@dataclass
+class BuchiAutomaton:
+    """Plain (single acceptance set) state-labelled Büchi automaton."""
+
+    labels: Dict[int, FrozenSet[Literal]] = field(default_factory=dict)
+    initial: Set[int] = field(default_factory=set)
+    transitions: Dict[int, Set[int]] = field(default_factory=dict)
+    accepting: Set[int] = field(default_factory=set)
+    annotations: Dict[int, object] = field(default_factory=dict)
+
+    def add_state(
+        self,
+        state: int,
+        label: Iterable[Literal] = (),
+        initial: bool = False,
+        accepting: bool = False,
+        annotation: object = None,
+    ) -> int:
+        self.labels[state] = frozenset(label)
+        self.transitions.setdefault(state, set())
+        if initial:
+            self.initial.add(state)
+        if accepting:
+            self.accepting.add(state)
+        if annotation is not None:
+            self.annotations[state] = annotation
+        return state
+
+    def add_transition(self, source: int, target: int) -> None:
+        self.transitions.setdefault(source, set()).add(target)
+        self.transitions.setdefault(target, set())
+
+    @property
+    def states(self) -> Tuple[int, ...]:
+        return tuple(self.labels.keys())
+
+    def state_count(self) -> int:
+        return len(self.labels)
+
+    def transition_count(self) -> int:
+        return sum(len(targets) for targets in self.transitions.values())
+
+    def to_generalized(self) -> GeneralizedBuchi:
+        """View as a GBA with a single acceptance set."""
+        gba = GeneralizedBuchi()
+        for state, label in self.labels.items():
+            gba.add_state(
+                state,
+                label,
+                initial=state in self.initial,
+                annotation=self.annotations.get(state),
+            )
+        for source, targets in self.transitions.items():
+            for target in targets:
+                gba.add_transition(source, target)
+        gba.acceptance = [frozenset(self.accepting)]
+        return gba
+
+    def is_empty(self) -> bool:
+        return self.accepting_lasso() is None
+
+    def accepting_lasso(self) -> Optional[AcceptingLasso]:
+        """Accepting lasso via the shared SCC-based engine."""
+        return self.to_generalized().accepting_lasso()
+
+
+# ---------------------------------------------------------------------------
+# Graph utilities shared by the emptiness checks.
+# ---------------------------------------------------------------------------
+
+def _tarjan_sccs(nodes: Set[int], transitions: Mapping[int, Set[int]]) -> List[Set[int]]:
+    """Iterative Tarjan strongly-connected-components restricted to ``nodes``."""
+    index_counter = [0]
+    index: Dict[int, int] = {}
+    lowlink: Dict[int, int] = {}
+    on_stack: Set[int] = set()
+    stack: List[int] = []
+    result: List[Set[int]] = []
+
+    for root in nodes:
+        if root in index:
+            continue
+        work = [(root, iter(sorted(t for t in transitions.get(root, set()) if t in nodes)))]
+        index[root] = lowlink[root] = index_counter[0]
+        index_counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, iterator = work[-1]
+            advanced = False
+            for target in iterator:
+                if target not in index:
+                    index[target] = lowlink[target] = index_counter[0]
+                    index_counter[0] += 1
+                    stack.append(target)
+                    on_stack.add(target)
+                    work.append(
+                        (
+                            target,
+                            iter(sorted(t for t in transitions.get(target, set()) if t in nodes)),
+                        )
+                    )
+                    advanced = True
+                    break
+                if target in on_stack:
+                    lowlink[node] = min(lowlink[node], index[target])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                result.append(component)
+    return result
+
+
+def _is_nontrivial(component: Set[int], transitions: Mapping[int, Set[int]]) -> bool:
+    """An SCC supports an infinite run iff it has an internal transition."""
+    if len(component) > 1:
+        return True
+    (state,) = tuple(component)
+    return state in transitions.get(state, set())
+
+
+def _shortest_path_to(
+    sources: Set[int], targets: Set[int], transitions: Mapping[int, Set[int]]
+) -> Tuple[int, List[int]]:
+    """BFS shortest path from any source to any target; returns (entry, stem).
+
+    The stem excludes the entry state itself (the entry becomes the first loop
+    state), matching how :class:`AcceptingLasso` is consumed downstream.
+    """
+    parents: Dict[int, Optional[int]] = {}
+    queue: List[int] = []
+    for source in sorted(sources):
+        parents[source] = None
+        queue.append(source)
+    head = 0
+    while head < len(queue):
+        state = queue[head]
+        head += 1
+        if state in targets:
+            path = []
+            current: Optional[int] = state
+            while current is not None:
+                path.append(current)
+                current = parents[current]
+            path.reverse()
+            return state, path[:-1]
+        for target in sorted(transitions.get(state, set())):
+            if target not in parents:
+                parents[target] = state
+                queue.append(target)
+    raise ValueError("target set unreachable from sources")
+
+
+def _fair_cycle(
+    entry: int,
+    component: Set[int],
+    acceptance: Sequence[FrozenSet[int]],
+    transitions: Mapping[int, Set[int]],
+) -> List[int]:
+    """Build a cycle inside ``component`` from ``entry`` hitting every acceptance set."""
+    waypoints: List[int] = []
+    for accept_set in acceptance:
+        candidates = accept_set & component
+        if candidates:
+            waypoints.append(sorted(candidates)[0])
+    cycle: List[int] = [entry]
+    current = entry
+    for waypoint in waypoints:
+        if waypoint == current:
+            continue
+        segment = _path_within(current, waypoint, component, transitions)
+        cycle.extend(segment[1:])
+        current = waypoint
+    # Close the loop back to the entry state.
+    if current != entry or len(cycle) == 1:
+        segment = _path_within(current, entry, component, transitions, require_step=True)
+        cycle.extend(segment[1:])
+    # The final state equals the entry; drop it so the loop reads [entry ... last].
+    if len(cycle) > 1 and cycle[-1] == entry:
+        cycle.pop()
+    return cycle
+
+
+def _path_within(
+    source: int,
+    target: int,
+    component: Set[int],
+    transitions: Mapping[int, Set[int]],
+    require_step: bool = False,
+) -> List[int]:
+    """BFS path from source to target staying inside the SCC.
+
+    With ``require_step`` the path must contain at least one transition even
+    when ``source == target`` (used to close self-loops).
+    """
+    if source == target and not require_step:
+        return [source]
+    parents: Dict[int, Optional[int]] = {source: None}
+    queue = [source]
+    head = 0
+    while head < len(queue):
+        state = queue[head]
+        head += 1
+        for nxt in sorted(transitions.get(state, set())):
+            if nxt not in component:
+                continue
+            if nxt == target:
+                path = [nxt]
+                current: Optional[int] = state
+                while current is not None:
+                    path.append(current)
+                    current = parents[current]
+                path.reverse()
+                return path
+            if nxt not in parents:
+                parents[nxt] = state
+                queue.append(nxt)
+    raise ValueError("no path inside the strongly connected component")

@@ -1,0 +1,255 @@
+"""Deterministic safety monitors for 1-step invariant properties.
+
+Most RTL properties written in practice — and all but one of the properties in
+the paper's examples — have the shape ``G(psi)`` where ``psi`` is a boolean
+combination of signals *now* and signals *one cycle later* (under a single
+``X``), e.g. ``G(r1 -> X n1)`` or ``G(!r1 & r2 -> X n2)``.
+
+For such properties the GPVW tableau is overkill: the property is a safety
+invariant relating consecutive letters and can be compiled into a small
+*deterministic* state-labelled automaton whose states are the valuations of
+the signals the property tracks.  Determinism matters operationally: when the
+model checker composes the concrete-module Kripke structure with one automaton
+per RTL property (see :mod:`repro.mc.product`), deterministic components
+contribute exactly one compatible successor per step, so a design with dozens
+of RTL properties (26 for the paper's MAL row, 29 for AMBA) composes without
+the exponential branching a conjunction tableau would suffer.
+
+:func:`is_monitorable` recognises the fragment; :func:`safety_monitor_gba`
+builds the automaton (all infinite runs accepting — the language is a safety
+language, so violations simply have no run).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..logic.boolexpr import all_assignments
+from .ast import (
+    Always,
+    And,
+    Atom,
+    FalseFormula,
+    Formula,
+    Iff,
+    Implies,
+    Next,
+    Not,
+    Or,
+    TrueFormula,
+)
+from .buchi import GeneralizedBuchi
+
+__all__ = ["is_monitorable", "safety_monitor_gba", "monitor_or_tableau"]
+
+
+def _is_depth1_boolean(formula: Formula) -> bool:
+    """True for boolean combinations of atoms and ``X`` applied to booleans."""
+    if isinstance(formula, (Atom, TrueFormula, FalseFormula)):
+        return True
+    if isinstance(formula, Not):
+        return _is_depth1_boolean(formula.operand)
+    if isinstance(formula, (And, Or, Implies, Iff)):
+        return _is_depth1_boolean(formula.left) and _is_depth1_boolean(formula.right)
+    if isinstance(formula, Next):
+        return _is_pure_boolean(formula.operand)
+    return False
+
+
+def _is_pure_boolean(formula: Formula) -> bool:
+    if isinstance(formula, (Atom, TrueFormula, FalseFormula)):
+        return True
+    if isinstance(formula, Not):
+        return _is_pure_boolean(formula.operand)
+    if isinstance(formula, (And, Or, Implies, Iff)):
+        return _is_pure_boolean(formula.left) and _is_pure_boolean(formula.right)
+    return False
+
+
+def is_monitorable(formula: Formula) -> bool:
+    """True when the property can be compiled by :func:`safety_monitor_gba`.
+
+    The fragment is ``G(psi)`` with ``psi`` a boolean combination of signals
+    and ``X``-of-boolean subterms (1-cycle lookahead), plus plain boolean
+    constraints on the first letter.
+    """
+    if isinstance(formula, Always):
+        return _is_depth1_boolean(formula.operand)
+    return _is_pure_boolean(formula)
+
+
+def _now_and_next_atoms(formula: Formula) -> Tuple[Set[str], Set[str]]:
+    now: Set[str] = set()
+    nxt: Set[str] = set()
+
+    def walk(node: Formula, under_next: bool) -> None:
+        if isinstance(node, Atom):
+            (nxt if under_next else now).add(node.name)
+            return
+        if isinstance(node, Next):
+            walk(node.operand, True)
+            return
+        for child in node.children():
+            walk(child, under_next)
+
+    walk(formula, False)
+    return now, nxt
+
+
+def _evaluate_step(formula: Formula, now: Dict[str, bool], nxt: Dict[str, bool]) -> bool:
+    """Evaluate a 1-step formula given the 'now' and 'next' letter valuations."""
+    if isinstance(formula, Atom):
+        return bool(now.get(formula.name, False))
+    if isinstance(formula, TrueFormula):
+        return True
+    if isinstance(formula, FalseFormula):
+        return False
+    if isinstance(formula, Not):
+        return not _evaluate_step(formula.operand, now, nxt)
+    if isinstance(formula, And):
+        return _evaluate_step(formula.left, now, nxt) and _evaluate_step(formula.right, now, nxt)
+    if isinstance(formula, Or):
+        return _evaluate_step(formula.left, now, nxt) or _evaluate_step(formula.right, now, nxt)
+    if isinstance(formula, Implies):
+        return (not _evaluate_step(formula.left, now, nxt)) or _evaluate_step(
+            formula.right, now, nxt
+        )
+    if isinstance(formula, Iff):
+        return _evaluate_step(formula.left, now, nxt) == _evaluate_step(formula.right, now, nxt)
+    if isinstance(formula, Next):
+        return _evaluate_step(formula.operand, nxt, nxt)
+    raise TypeError(f"formula outside the monitorable fragment: {type(formula).__name__}")
+
+
+def safety_monitor_gba(formula: Formula) -> GeneralizedBuchi:
+    """Compile a monitorable property into a deterministic state-labelled GBA.
+
+    For ``G(psi)``: states are full valuations of the signals ``psi`` mentions,
+    entering a state requires the letter to agree with that valuation, and a
+    transition ``s -> s'`` exists iff the step constraint holds of the pair.
+    For a plain boolean constraint: the first letter must satisfy it, after
+    which an unconstrained sink state is entered.  Every infinite run is
+    accepting (the acceptance family is empty).
+    """
+    if not is_monitorable(formula):
+        raise ValueError(f"formula is not in the monitorable fragment: {formula}")
+
+    if isinstance(formula, Always):
+        return _recurring_monitor(formula.operand)
+    return _initial_constraint_monitor(formula)
+
+
+def _recurring_monitor(body: Formula) -> GeneralizedBuchi:
+    now_atoms, next_atoms = _now_and_next_atoms(body)
+    tracked = sorted(now_atoms | next_atoms)
+
+    automaton = GeneralizedBuchi()
+    valuations = list(all_assignments(tracked))
+    state_of: Dict[Tuple[bool, ...], int] = {}
+    for index, valuation in enumerate(valuations):
+        key = tuple(valuation[name] for name in tracked)
+        state_of[key] = index
+        label = frozenset((name, valuation[name]) for name in tracked)
+        automaton.add_state(index, label, initial=True, annotation=dict(valuation))
+
+    for source_valuation in valuations:
+        source = state_of[tuple(source_valuation[name] for name in tracked)]
+        for target_valuation in valuations:
+            target = state_of[tuple(target_valuation[name] for name in tracked)]
+            if _evaluate_step(body, dict(source_valuation), dict(target_valuation)):
+                automaton.add_transition(source, target)
+    return automaton
+
+
+def _initial_constraint_monitor(body: Formula) -> GeneralizedBuchi:
+    atoms = sorted(_now_and_next_atoms(body)[0])
+    automaton = GeneralizedBuchi()
+    sink = 0
+    automaton.add_state(sink, (), initial=False)
+    automaton.add_transition(sink, sink)
+    next_id = 1
+    for valuation in all_assignments(atoms):
+        if not _evaluate_step(body, dict(valuation), dict(valuation)):
+            continue
+        label = frozenset((name, valuation[name]) for name in atoms)
+        automaton.add_state(next_id, label, initial=True, annotation=dict(valuation))
+        automaton.add_transition(next_id, sink)
+        next_id += 1
+    if not atoms and _evaluate_step(body, {}, {}):
+        automaton.initial.add(sink)
+    return automaton
+
+
+def _cosafety_body(formula: Formula) -> Formula | None:
+    """Recognise ``F(psi)`` / ``!G(psi)`` with ``psi`` in the 1-step fragment.
+
+    Such formulas arise when the *negation* of a ``T_M`` conjunct must be
+    checked (Theorem-2 closure validation): ``!G(transition relation)`` is
+    ``F(!transition relation)``, which the tableau handles very poorly (the
+    negated relation is a large conjunction of disjunctions) but which has a
+    small nondeterministic monitor: guess the position where the step
+    constraint is violated.
+    """
+    from .ast import Eventually
+
+    if isinstance(formula, Eventually) and _is_depth1_boolean(formula.operand):
+        return formula.operand
+    if isinstance(formula, Not) and isinstance(formula.operand, Always):
+        body = formula.operand.operand
+        if _is_depth1_boolean(body):
+            return Not(body)
+    return None
+
+
+def cosafety_monitor_gba(body: Formula) -> GeneralizedBuchi:
+    """Automaton for ``F(body)`` with ``body`` a 1-step constraint.
+
+    States: ``watching(v)`` for every valuation ``v`` of the tracked signals
+    (the constraint has not been witnessed yet) plus an unconstrained accepting
+    sink entered exactly when the step pair ``(v, v')`` satisfies ``body``.
+    """
+    now_atoms, next_atoms = _now_and_next_atoms(body)
+    tracked = sorted(now_atoms | next_atoms)
+    automaton = GeneralizedBuchi()
+    valuations = list(all_assignments(tracked))
+    count = len(valuations)
+    # States 0..count-1: watching(v); states count..2*count-1: satisfied(v);
+    # state 2*count: unconstrained accepting sink.
+    sink = 2 * count
+    watching: Dict[Tuple[bool, ...], int] = {}
+    satisfied: Dict[Tuple[bool, ...], int] = {}
+    for index, valuation in enumerate(valuations):
+        key = tuple(valuation[name] for name in tracked)
+        label = frozenset((name, valuation[name]) for name in tracked)
+        watching[key] = index
+        automaton.add_state(index, label, initial=True, annotation=("watching", dict(valuation)))
+        satisfied[key] = count + index
+        automaton.add_state(count + index, label, annotation=("satisfied", dict(valuation)))
+    automaton.add_state(sink, (), initial=False)
+    automaton.add_transition(sink, sink)
+    for source_valuation in valuations:
+        source_key = tuple(source_valuation[name] for name in tracked)
+        source = watching[source_key]
+        for target_valuation in valuations:
+            target_key = tuple(target_valuation[name] for name in tracked)
+            # Keep watching ...
+            automaton.add_transition(source, watching[target_key])
+            # ... or declare the constraint witnessed on this step pair (the
+            # target state's label enforces that the next letter really is v').
+            if _evaluate_step(body, dict(source_valuation), dict(target_valuation)):
+                automaton.add_transition(source, satisfied[target_key])
+        automaton.add_transition(satisfied[source_key], sink)
+    automaton.acceptance = [frozenset({sink})]
+    return automaton
+
+
+def monitor_or_tableau(formula: Formula) -> GeneralizedBuchi:
+    """Compile with a deterministic/co-safety monitor when possible, else the tableau."""
+    if is_monitorable(formula):
+        return safety_monitor_gba(formula)
+    cosafety = _cosafety_body(formula)
+    if cosafety is not None:
+        return cosafety_monitor_gba(cosafety)
+    from .tableau import ltl_to_gba
+
+    return ltl_to_gba(formula)

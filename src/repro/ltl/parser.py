@@ -1,0 +1,239 @@
+"""Parser for the library's LTL surface syntax.
+
+Grammar (in decreasing binding strength)::
+
+    primary    := atom | 'true' | 'false' | '(' formula ')'
+    unary      := ('!' | 'X' | 'F' | 'G')* primary
+    until      := unary (('U' | 'R' | 'W') until)?          (right associative)
+    conjunction:= until (('&' | '&&') until)*
+    disjunction:= conjunction (('|' | '||') conjunction)*
+    implication:= disjunction (('->' | '=>') implication)?  (right associative)
+    formula    := implication (('<->' | '<=>') formula)?
+
+Atoms are C-style identifiers (letters, digits, ``_``, ``.``, ``[``, ``]``).
+SPIN-style ``[]`` / ``<>`` are accepted as aliases for ``G`` / ``F``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .ast import (
+    FALSE,
+    TRUE,
+    Always,
+    And,
+    Atom,
+    Eventually,
+    Formula,
+    Iff,
+    Implies,
+    Next,
+    Not,
+    Or,
+    Release,
+    Until,
+    WeakUntil,
+)
+
+__all__ = ["parse", "ParseError"]
+
+
+class ParseError(ValueError):
+    """Raised when the input text is not a well-formed formula."""
+
+    def __init__(self, message: str, position: int, text: str):
+        super().__init__(f"{message} at position {position}: {text!r}")
+        self.position = position
+        self.text = text
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<iff><->|<=>)
+  | (?P<implies>->|=>)
+  | (?P<and>&&|&)
+  | (?P<or>\|\||\|)
+  | (?P<not>!|~)
+  | (?P<always>\[\])
+  | (?P<eventually><>)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_.\[\]]*)
+  | (?P<number>[01])
+    """,
+    re.VERBOSE,
+)
+
+_RESERVED_UNARY = {"X", "F", "G"}
+_RESERVED_BINARY = {"U", "R", "W", "V"}
+_RESERVED_CONST = {"true", "false", "TRUE", "FALSE", "True", "False"}
+
+
+@dataclass
+class _Token:
+    kind: str
+    value: str
+    position: int
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError("unexpected character", position, text)
+        kind = match.lastgroup or ""
+        value = match.group()
+        if kind != "ws":
+            tokens.append(_Token(kind, value, position))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # -- token helpers -------------------------------------------------------
+    def _peek(self) -> Optional[_Token]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def _advance(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input", len(self.text), self.text)
+        self.index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._peek()
+        if token is None or token.kind != kind:
+            position = token.position if token else len(self.text)
+            raise ParseError(f"expected {kind}", position, self.text)
+        return self._advance()
+
+    def _peek_ident(self, names: set) -> bool:
+        token = self._peek()
+        return token is not None and token.kind == "ident" and token.value in names
+
+    # -- grammar ----------------------------------------------------------------
+    def parse(self) -> Formula:
+        formula = self._iff()
+        token = self._peek()
+        if token is not None:
+            raise ParseError("trailing input", token.position, self.text)
+        return formula
+
+    def _iff(self) -> Formula:
+        left = self._implication()
+        token = self._peek()
+        if token is not None and token.kind == "iff":
+            self._advance()
+            right = self._iff()
+            return Iff(left, right)
+        return left
+
+    def _implication(self) -> Formula:
+        left = self._disjunction()
+        token = self._peek()
+        if token is not None and token.kind == "implies":
+            self._advance()
+            right = self._implication()
+            return Implies(left, right)
+        return left
+
+    def _disjunction(self) -> Formula:
+        left = self._conjunction()
+        while True:
+            token = self._peek()
+            if token is not None and token.kind == "or":
+                self._advance()
+                left = Or(left, self._conjunction())
+            else:
+                return left
+
+    def _conjunction(self) -> Formula:
+        left = self._until()
+        while True:
+            token = self._peek()
+            if token is not None and token.kind == "and":
+                self._advance()
+                left = And(left, self._until())
+            else:
+                return left
+
+    def _until(self) -> Formula:
+        left = self._unary()
+        if self._peek_ident(_RESERVED_BINARY):
+            operator = self._advance().value
+            right = self._until()
+            if operator == "U":
+                return Until(left, right)
+            if operator in ("R", "V"):
+                return Release(left, right)
+            return WeakUntil(left, right)
+        return left
+
+    def _unary(self) -> Formula:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input", len(self.text), self.text)
+        if token.kind == "not":
+            self._advance()
+            return Not(self._unary())
+        if token.kind == "always":
+            self._advance()
+            return Always(self._unary())
+        if token.kind == "eventually":
+            self._advance()
+            return Eventually(self._unary())
+        if token.kind == "ident" and token.value in _RESERVED_UNARY:
+            self._advance()
+            operand = self._unary()
+            if token.value == "X":
+                return Next(operand)
+            if token.value == "F":
+                return Eventually(operand)
+            return Always(operand)
+        return self._primary()
+
+    def _primary(self) -> Formula:
+        token = self._advance()
+        if token.kind == "lparen":
+            inner = self._iff()
+            self._expect("rparen")
+            return inner
+        if token.kind == "number":
+            return TRUE if token.value == "1" else FALSE
+        if token.kind == "ident":
+            if token.value in _RESERVED_CONST:
+                return TRUE if token.value.lower() == "true" else FALSE
+            if token.value in _RESERVED_UNARY or token.value in _RESERVED_BINARY:
+                raise ParseError(
+                    f"operator {token.value!r} used where an atom was expected",
+                    token.position,
+                    self.text,
+                )
+            return Atom(token.value)
+        raise ParseError("expected a formula", token.position, self.text)
+
+
+def parse(text: str) -> Formula:
+    """Parse a formula from text.
+
+    >>> from repro.ltl import parse
+    >>> parse("G(r1 -> X n1)")
+    Always('G (r1 -> X n1)')
+    """
+    if not text or not text.strip():
+        raise ParseError("empty formula", 0, text)
+    return _Parser(text).parse()

@@ -1,0 +1,138 @@
+"""Products of state-labelled generalized Büchi automata.
+
+Translating a large conjunction ``R1 & ... & Rk & !A`` with a single tableau
+is exponential in the number of conjuncts.  SpecMatcher instead translates
+each conjunct separately (each automaton is tiny) and composes them with a
+synchronous product: a joint state is a tuple of component states whose
+literal labels are mutually consistent, and the joint acceptance family is the
+union of the per-component families (suitably lifted).
+
+The same mechanism is reused by :mod:`repro.mc.product` where one of the
+components is the Kripke structure of the concrete modules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .ast import Formula, conj
+from .buchi import GeneralizedBuchi, Literal
+from .rewrite import conjuncts
+from .tableau import ltl_to_gba
+
+__all__ = ["labels_consistent", "join_labels", "gba_product", "conjunction_to_gba"]
+
+
+def labels_consistent(labels: Sequence[FrozenSet[Literal]]) -> bool:
+    """True when no two label sets require opposite values of a signal."""
+    required: Dict[str, bool] = {}
+    for label in labels:
+        for name, value in label:
+            if name in required and required[name] != value:
+                return False
+            required[name] = value
+    return True
+
+
+def join_labels(labels: Sequence[FrozenSet[Literal]]) -> FrozenSet[Literal]:
+    """Union of consistent label sets."""
+    joined: Set[Literal] = set()
+    for label in labels:
+        joined |= label
+    return frozenset(joined)
+
+
+def gba_product(automata: Sequence[GeneralizedBuchi]) -> GeneralizedBuchi:
+    """Synchronous product of state-labelled GBAs (language intersection).
+
+    States are tuples of component states reachable from the joint initial
+    states through transitions whose target labels are mutually consistent.
+    Acceptance sets of every component are lifted to the product.
+    """
+    automata = list(automata)
+    if not automata:
+        result = GeneralizedBuchi()
+        result.add_state(0, (), initial=True)
+        result.add_transition(0, 0)
+        return result
+    if len(automata) == 1:
+        return automata[0]
+
+    product = GeneralizedBuchi()
+    index: Dict[Tuple[int, ...], int] = {}
+
+    def get_state(combo: Tuple[int, ...], initial: bool = False) -> int:
+        ident = index.get(combo)
+        if ident is None:
+            ident = len(index)
+            index[combo] = ident
+            label = join_labels([automata[i].labels[state] for i, state in enumerate(combo)])
+            product.add_state(ident, label, initial=initial, annotation=combo)
+        elif initial:
+            product.initial.add(ident)
+        return ident
+
+    # Joint initial states: all combinations of component initial states with
+    # mutually consistent labels.
+    worklist: List[Tuple[int, ...]] = []
+    for combo in _combinations([sorted(a.initial) for a in automata]):
+        labels = [automata[i].labels[state] for i, state in enumerate(combo)]
+        if labels_consistent(labels):
+            get_state(combo, initial=True)
+            worklist.append(combo)
+
+    seen: Set[Tuple[int, ...]] = set(worklist)
+    while worklist:
+        combo = worklist.pop()
+        source = get_state(combo)
+        successor_lists = [
+            sorted(automata[i].transitions.get(state, set())) for i, state in enumerate(combo)
+        ]
+        for next_combo in _combinations(successor_lists):
+            labels = [automata[i].labels[state] for i, state in enumerate(next_combo)]
+            if not labels_consistent(labels):
+                continue
+            target = get_state(next_combo)
+            product.add_transition(source, target)
+            if next_combo not in seen:
+                seen.add(next_combo)
+                worklist.append(next_combo)
+
+    # Lift acceptance sets: product state is in a lifted set when its i-th
+    # component is in the original set.
+    for component_index, automaton in enumerate(automata):
+        for accept_set in automaton.acceptance:
+            lifted = frozenset(
+                ident for combo, ident in index.items() if combo[component_index] in accept_set
+            )
+            product.acceptance.append(lifted)
+    return product
+
+
+def conjunction_to_gba(formulas: Sequence[Formula]) -> GeneralizedBuchi:
+    """Automaton for the conjunction of formulas, built compositionally.
+
+    Each formula is translated independently and the results are intersected
+    with :func:`gba_product`, avoiding the exponential blow-up of a single
+    tableau over the whole conjunction.
+    """
+    from .monitor import monitor_or_tableau
+
+    flat: List[Formula] = []
+    for formula in formulas:
+        flat.extend(conjuncts(formula))
+    if not flat:
+        flat = [conj()]
+    automata = [monitor_or_tableau(part) for part in flat]
+    return gba_product(automata)
+
+
+def _combinations(choices: Sequence[Sequence[int]]) -> Iterable[Tuple[int, ...]]:
+    """Cartesian product of per-component choices."""
+    if not choices:
+        yield ()
+        return
+    head, *tail = choices
+    for value in head:
+        for rest in _combinations(tail):
+            yield (value,) + rest

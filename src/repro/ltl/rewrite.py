@@ -1,0 +1,427 @@
+"""Formula rewriting: negation, NNF, simplification and substitution.
+
+These transformations are the glue between the specification layer and the
+automaton layer:
+
+* :func:`negate` / :func:`nnf` prepare formulas for the tableau construction
+  (which requires negation normal form),
+* :func:`simplify` applies cheap semantics-preserving rules so that formulas
+  produced mechanically (e.g. the coverage hole ``A | !(R & T_M)``) stay
+  readable,
+* :func:`substitute_atoms` supports the weakening heuristics of Algorithm 1
+  which replace individual *atom instances* inside a property.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+from .ast import (
+    FALSE,
+    TRUE,
+    Always,
+    And,
+    Atom,
+    Eventually,
+    FalseFormula,
+    Formula,
+    Iff,
+    Implies,
+    Next,
+    Not,
+    Or,
+    Release,
+    TrueFormula,
+    Until,
+    WeakUntil,
+    conj,
+    disj,
+)
+
+__all__ = [
+    "negate",
+    "nnf",
+    "simplify",
+    "remove_derived_operators",
+    "substitute_atoms",
+    "substitute_atom_instance",
+    "atom_instances",
+    "conjuncts",
+    "disjuncts",
+    "expanded_conjuncts",
+    "has_complementary_conjuncts",
+    "big_and",
+    "big_or",
+]
+
+
+def negate(formula: Formula) -> Formula:
+    """Return the negation, pushing ``!`` one level when cheap."""
+    if isinstance(formula, Not):
+        return formula.operand
+    if isinstance(formula, TrueFormula):
+        return FALSE
+    if isinstance(formula, FalseFormula):
+        return TRUE
+    return Not(formula)
+
+
+def remove_derived_operators(formula: Formula) -> Formula:
+    """Rewrite ``->``, ``<->``, ``F``, ``G`` and ``W`` into the core operators.
+
+    The core set is ``{!, &, |, X, U, R}`` which is what the tableau
+    construction consumes.
+    """
+    if isinstance(formula, (Atom, TrueFormula, FalseFormula)):
+        return formula
+    if isinstance(formula, Not):
+        return Not(remove_derived_operators(formula.operand))
+    if isinstance(formula, And):
+        return And(remove_derived_operators(formula.left), remove_derived_operators(formula.right))
+    if isinstance(formula, Or):
+        return Or(remove_derived_operators(formula.left), remove_derived_operators(formula.right))
+    if isinstance(formula, Implies):
+        return Or(
+            Not(remove_derived_operators(formula.left)),
+            remove_derived_operators(formula.right),
+        )
+    if isinstance(formula, Iff):
+        left = remove_derived_operators(formula.left)
+        right = remove_derived_operators(formula.right)
+        return Or(And(left, right), And(Not(left), Not(right)))
+    if isinstance(formula, Next):
+        return Next(remove_derived_operators(formula.operand))
+    if isinstance(formula, Eventually):
+        return Until(TRUE, remove_derived_operators(formula.operand))
+    if isinstance(formula, Always):
+        return Release(FALSE, remove_derived_operators(formula.operand))
+    if isinstance(formula, Until):
+        return Until(remove_derived_operators(formula.left), remove_derived_operators(formula.right))
+    if isinstance(formula, Release):
+        return Release(remove_derived_operators(formula.left), remove_derived_operators(formula.right))
+    if isinstance(formula, WeakUntil):
+        left = remove_derived_operators(formula.left)
+        right = remove_derived_operators(formula.right)
+        # p W q  ==  q R (p | q)
+        return Release(right, Or(left, right))
+    raise TypeError(f"unknown formula type {type(formula).__name__}")
+
+
+def nnf(formula: Formula) -> Formula:
+    """Negation normal form over the core operators ``{&, |, X, U, R}``.
+
+    Negations are pushed down to atoms; derived operators are eliminated.
+    """
+    return _nnf(remove_derived_operators(formula), positive=True)
+
+
+def _nnf(formula: Formula, positive: bool) -> Formula:
+    if isinstance(formula, Atom):
+        return formula if positive else Not(formula)
+    if isinstance(formula, TrueFormula):
+        return TRUE if positive else FALSE
+    if isinstance(formula, FalseFormula):
+        return FALSE if positive else TRUE
+    if isinstance(formula, Not):
+        return _nnf(formula.operand, not positive)
+    if isinstance(formula, And):
+        left = _nnf(formula.left, positive)
+        right = _nnf(formula.right, positive)
+        return And(left, right) if positive else Or(left, right)
+    if isinstance(formula, Or):
+        left = _nnf(formula.left, positive)
+        right = _nnf(formula.right, positive)
+        return Or(left, right) if positive else And(left, right)
+    if isinstance(formula, Next):
+        return Next(_nnf(formula.operand, positive))
+    if isinstance(formula, Until):
+        left = _nnf(formula.left, positive)
+        right = _nnf(formula.right, positive)
+        return Until(left, right) if positive else Release(left, right)
+    if isinstance(formula, Release):
+        left = _nnf(formula.left, positive)
+        right = _nnf(formula.right, positive)
+        return Release(left, right) if positive else Until(left, right)
+    raise TypeError(f"unexpected formula in NNF conversion: {type(formula).__name__}")
+
+
+def simplify(formula: Formula) -> Formula:
+    """Apply cheap semantics-preserving simplification rules bottom-up.
+
+    Rules include constant folding, idempotence (``p & p = p``), absorption of
+    constants under temporal operators (``G true = true``), collapse of
+    duplicated temporal operators (``G G p = G p``, ``F F p = F p``) and the
+    standard until/release constant rules.
+    """
+    return _simplify(formula)
+
+
+def _simplify(formula: Formula) -> Formula:
+    if isinstance(formula, (Atom, TrueFormula, FalseFormula)):
+        return formula
+    if isinstance(formula, Not):
+        inner = _simplify(formula.operand)
+        if isinstance(inner, TrueFormula):
+            return FALSE
+        if isinstance(inner, FalseFormula):
+            return TRUE
+        if isinstance(inner, Not):
+            return inner.operand
+        return Not(inner)
+    if isinstance(formula, And):
+        left = _simplify(formula.left)
+        right = _simplify(formula.right)
+        if isinstance(left, FalseFormula) or isinstance(right, FalseFormula):
+            return FALSE
+        if isinstance(left, TrueFormula):
+            return right
+        if isinstance(right, TrueFormula):
+            return left
+        if left == right:
+            return left
+        if left == negate(right) or right == negate(left):
+            return FALSE
+        return And(left, right)
+    if isinstance(formula, Or):
+        left = _simplify(formula.left)
+        right = _simplify(formula.right)
+        if isinstance(left, TrueFormula) or isinstance(right, TrueFormula):
+            return TRUE
+        if isinstance(left, FalseFormula):
+            return right
+        if isinstance(right, FalseFormula):
+            return left
+        if left == right:
+            return left
+        if left == negate(right) or right == negate(left):
+            return TRUE
+        return Or(left, right)
+    if isinstance(formula, Implies):
+        left = _simplify(formula.left)
+        right = _simplify(formula.right)
+        if isinstance(left, FalseFormula) or isinstance(right, TrueFormula):
+            return TRUE
+        if isinstance(left, TrueFormula):
+            return right
+        if isinstance(right, FalseFormula):
+            return _simplify(Not(left))
+        if left == right:
+            return TRUE
+        return Implies(left, right)
+    if isinstance(formula, Iff):
+        left = _simplify(formula.left)
+        right = _simplify(formula.right)
+        if isinstance(left, TrueFormula):
+            return right
+        if isinstance(right, TrueFormula):
+            return left
+        if isinstance(left, FalseFormula):
+            return _simplify(Not(right))
+        if isinstance(right, FalseFormula):
+            return _simplify(Not(left))
+        if left == right:
+            return TRUE
+        return Iff(left, right)
+    if isinstance(formula, Next):
+        inner = _simplify(formula.operand)
+        if isinstance(inner, (TrueFormula, FalseFormula)):
+            return inner
+        return Next(inner)
+    if isinstance(formula, Eventually):
+        inner = _simplify(formula.operand)
+        if isinstance(inner, (TrueFormula, FalseFormula)):
+            return inner
+        if isinstance(inner, Eventually):
+            return inner
+        return Eventually(inner)
+    if isinstance(formula, Always):
+        inner = _simplify(formula.operand)
+        if isinstance(inner, (TrueFormula, FalseFormula)):
+            return inner
+        if isinstance(inner, Always):
+            return inner
+        return Always(inner)
+    if isinstance(formula, Until):
+        left = _simplify(formula.left)
+        right = _simplify(formula.right)
+        if isinstance(right, TrueFormula):
+            return TRUE
+        if isinstance(right, FalseFormula):
+            return FALSE
+        if isinstance(left, FalseFormula):
+            return right
+        if isinstance(left, TrueFormula):
+            return Eventually(right)
+        if left == right:
+            return left
+        return Until(left, right)
+    if isinstance(formula, Release):
+        left = _simplify(formula.left)
+        right = _simplify(formula.right)
+        if isinstance(right, TrueFormula):
+            return TRUE
+        if isinstance(right, FalseFormula):
+            return FALSE
+        if isinstance(left, TrueFormula):
+            return right
+        if isinstance(left, FalseFormula):
+            return Always(right)
+        if left == right:
+            return left
+        return Release(left, right)
+    if isinstance(formula, WeakUntil):
+        left = _simplify(formula.left)
+        right = _simplify(formula.right)
+        if isinstance(right, TrueFormula):
+            return TRUE
+        if isinstance(left, FalseFormula):
+            return right
+        if isinstance(left, TrueFormula):
+            return TRUE
+        if isinstance(right, FalseFormula):
+            return Always(left)
+        if left == right:
+            return left
+        return WeakUntil(left, right)
+    raise TypeError(f"unknown formula type {type(formula).__name__}")
+
+
+def substitute_atoms(formula: Formula, mapping: Mapping[str, Formula]) -> Formula:
+    """Replace every occurrence of the named atoms by the given formulas."""
+    if isinstance(formula, Atom):
+        return mapping.get(formula.name, formula)
+    if isinstance(formula, (TrueFormula, FalseFormula)):
+        return formula
+    if isinstance(formula, Not):
+        return Not(substitute_atoms(formula.operand, mapping))
+    if isinstance(formula, (Next, Eventually, Always)):
+        return type(formula)(substitute_atoms(formula.operand, mapping))
+    if isinstance(formula, (And, Or, Implies, Iff, Until, Release, WeakUntil)):
+        return type(formula)(
+            substitute_atoms(formula.left, mapping),
+            substitute_atoms(formula.right, mapping),
+        )
+    raise TypeError(f"unknown formula type {type(formula).__name__}")
+
+
+def atom_instances(formula: Formula) -> Tuple[Tuple[Tuple[int, ...], str], ...]:
+    """Enumerate every atom *instance* as ``(path, name)`` pairs.
+
+    The path is the sequence of child indices from the root to the atom, so
+    distinct occurrences of the same atom get distinct paths.  Used by the
+    weakening heuristics which must modify one occurrence at a time.
+    """
+    instances = []
+
+    def walk(node: Formula, path: Tuple[int, ...]) -> None:
+        if isinstance(node, Atom):
+            instances.append((path, node.name))
+            return
+        for index, child in enumerate(node.children()):
+            walk(child, path + (index,))
+
+    walk(formula, ())
+    return tuple(instances)
+
+
+def substitute_atom_instance(
+    formula: Formula, path: Tuple[int, ...], replacement: Formula
+) -> Formula:
+    """Replace the single atom instance addressed by ``path`` with ``replacement``."""
+    if not path:
+        if not isinstance(formula, Atom):
+            raise ValueError("path does not address an atom instance")
+        return replacement
+    children = list(formula.children())
+    index = path[0]
+    if index >= len(children):
+        raise ValueError("invalid path for formula")
+    new_child = substitute_atom_instance(children[index], path[1:], replacement)
+    return _rebuild(formula, index, new_child)
+
+
+def _rebuild(formula: Formula, index: int, new_child: Formula) -> Formula:
+    if isinstance(formula, Not):
+        return Not(new_child)
+    if isinstance(formula, (Next, Eventually, Always)):
+        return type(formula)(new_child)
+    if isinstance(formula, (And, Or, Implies, Iff, Until, Release, WeakUntil)):
+        if index == 0:
+            return type(formula)(new_child, formula.right)
+        return type(formula)(formula.left, new_child)
+    raise TypeError(f"cannot rebuild formula of type {type(formula).__name__}")
+
+
+def conjuncts(formula: Formula) -> Tuple[Formula, ...]:
+    """Flatten nested conjunctions into a tuple of conjuncts."""
+    if isinstance(formula, And):
+        return conjuncts(formula.left) + conjuncts(formula.right)
+    if isinstance(formula, TrueFormula):
+        return ()
+    return (formula,)
+
+
+def disjuncts(formula: Formula) -> Tuple[Formula, ...]:
+    """Flatten nested disjunctions into a tuple of disjuncts."""
+    if isinstance(formula, Or):
+        return disjuncts(formula.left) + disjuncts(formula.right)
+    if isinstance(formula, FalseFormula):
+        return ()
+    return (formula,)
+
+
+def expanded_conjuncts(formula: Formula) -> Tuple[Formula, ...]:
+    """Conjuncts after pushing negation through the top-level boolean structure.
+
+    Nested conjunctions are flattened and, additionally, negations are
+    distributed over the boolean connectives at the top of the tree
+    (``¬(p ∨ q)`` → ``¬p, ¬q``; ``¬¬p`` → ``p``; ``¬(p → q)`` → ``p, ¬q``).
+    Temporal operators are never entered, so the result is a cheap, purely
+    syntactic decomposition.  Used by the satisfiability front-end to split a
+    query into many small conjuncts and to spot contradictions (a formula and
+    its negation among the conjuncts) before any automaton is built.
+    """
+    if isinstance(formula, And):
+        return expanded_conjuncts(formula.left) + expanded_conjuncts(formula.right)
+    if isinstance(formula, TrueFormula):
+        return ()
+    if isinstance(formula, Not):
+        inner = formula.operand
+        if isinstance(inner, Not):
+            return expanded_conjuncts(inner.operand)
+        if isinstance(inner, Or):
+            return expanded_conjuncts(Not(inner.left)) + expanded_conjuncts(Not(inner.right))
+        if isinstance(inner, Implies):
+            return expanded_conjuncts(inner.left) + expanded_conjuncts(Not(inner.right))
+        if isinstance(inner, TrueFormula):
+            return (FALSE,)
+        if isinstance(inner, FalseFormula):
+            return ()
+    return (formula,)
+
+
+def has_complementary_conjuncts(parts: Sequence[Formula]) -> bool:
+    """True when the conjunct set contains ``false`` or both ``f`` and ``¬f``.
+
+    A purely syntactic (structural equality) check — sound but incomplete; the
+    caller still needs a semantic decision procedure when it returns False.
+    """
+    seen = set(parts)
+    for part in parts:
+        if isinstance(part, FalseFormula):
+            return True
+        if isinstance(part, Not) and part.operand in seen:
+            return True
+        if Not(part) in seen:
+            return True
+    return False
+
+
+def big_and(formulas: Sequence[Formula]) -> Formula:
+    """Conjunction of a sequence (``true`` for the empty sequence)."""
+    return conj(*formulas)
+
+
+def big_or(formulas: Sequence[Formula]) -> Formula:
+    """Disjunction of a sequence (``false`` for the empty sequence)."""
+    return disj(*formulas)

@@ -1,0 +1,117 @@
+"""LTL satisfiability, validity, implication and equivalence.
+
+All queries reduce to language emptiness of the tableau automaton
+(:mod:`repro.ltl.tableau`).  A satisfiable query can additionally return a
+witness :class:`~repro.ltl.traces.LassoTrace`, which the test-suite uses to
+cross-validate the automaton construction against direct trace semantics.
+
+These checks are the workhorses of the paper's Algorithm 1 step 2(d): the
+weakening heuristics must decide whether a candidate gap property is *weaker*
+than the architectural property (an implication check) and whether adding it
+closes the coverage hole (a model-relative check done in :mod:`repro.core`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from .ast import And, Formula, Not, atoms_of
+from .buchi import AcceptingLasso, GeneralizedBuchi
+from .tableau import ltl_to_gba
+from .traces import LassoTrace
+
+__all__ = [
+    "is_satisfiable",
+    "is_valid",
+    "implies",
+    "equivalent",
+    "satisfying_trace",
+    "lasso_to_trace",
+    "stronger_than",
+    "strictly_stronger_than",
+]
+
+
+def is_satisfiable(formula: Formula) -> bool:
+    """True when some infinite word satisfies the formula.
+
+    Two layers keep the common queries of Algorithm 1 cheap:
+
+    * the top-level boolean structure is decomposed into conjuncts (pushing
+      negations through ``∨``/``→``/``¬¬``) and a purely syntactic scan spots
+      complementary conjuncts — the shape produced by "is the hole weaker
+      than A" style queries (``A ∧ ¬(A ∨ ...)``) — without building automata;
+    * surviving conjunctions are translated compositionally (one automaton
+      per conjunct, intersected by product), far cheaper than a single
+      tableau over the whole conjunction.
+    """
+    from .rewrite import expanded_conjuncts, has_complementary_conjuncts
+
+    parts = expanded_conjuncts(formula)
+    if not parts:
+        return True
+    if has_complementary_conjuncts(parts):
+        return False
+    if len(parts) > 1:
+        from .product import conjunction_to_gba
+
+        return not conjunction_to_gba(list(parts)).is_empty()
+    return not ltl_to_gba(parts[0]).is_empty()
+
+
+def is_valid(formula: Formula) -> bool:
+    """True when every infinite word satisfies the formula."""
+    return not is_satisfiable(Not(formula))
+
+
+def implies(antecedent: Formula, consequent: Formula) -> bool:
+    """Semantic implication: every word satisfying ``antecedent`` satisfies ``consequent``."""
+    return not is_satisfiable(And(antecedent, Not(consequent)))
+
+
+def equivalent(left: Formula, right: Formula) -> bool:
+    """Semantic equivalence of two formulas."""
+    return implies(left, right) and implies(right, left)
+
+
+def stronger_than(left: Formula, right: Formula) -> bool:
+    """Definition 2 of the paper: ``left`` is stronger than ``right`` iff left => right.
+
+    (The paper's Definition 2 contains an obvious typo — it states both
+    directions — the intended meaning, used consistently afterwards, is
+    one-directional implication.)
+    """
+    return implies(left, right)
+
+
+def strictly_stronger_than(left: Formula, right: Formula) -> bool:
+    """``left`` implies ``right`` but not conversely."""
+    return implies(left, right) and not implies(right, left)
+
+
+def satisfying_trace(formula: Formula) -> Optional[LassoTrace]:
+    """Return a lasso word satisfying the formula, or ``None`` when unsatisfiable."""
+    automaton = ltl_to_gba(formula)
+    lasso = automaton.accepting_lasso()
+    if lasso is None:
+        return None
+    names = sorted(atoms_of(formula))
+    return lasso_to_trace(automaton, lasso, names)
+
+
+def lasso_to_trace(
+    automaton: GeneralizedBuchi, lasso: AcceptingLasso, names: Tuple[str, ...] | list
+) -> LassoTrace:
+    """Concretise an automaton lasso into a word: unspecified atoms read false."""
+
+    def state_to_assignment(state: int) -> Dict[str, bool]:
+        assignment = {name: False for name in names}
+        for name, value in automaton.labels.get(state, frozenset()):
+            assignment[name] = value
+        return assignment
+
+    stem = [state_to_assignment(state) for state in lasso.stem]
+    loop = [state_to_assignment(state) for state in lasso.loop]
+    if not loop:
+        loop = [dict.fromkeys(names, False)] if names else [{}]
+    return LassoTrace(stem, loop)

@@ -1,0 +1,200 @@
+"""Lasso traces (ultimately periodic words) and LTL evaluation over them.
+
+A run of a finite-state design that violates or witnesses an LTL property can
+always be presented as a *lasso*: a finite stem followed by a finite loop that
+repeats forever.  :class:`LassoTrace` stores such a word as a list of states
+(each state maps signal names to booleans) and :func:`evaluate` decides LTL
+formulas on it.
+
+This module is used to
+
+* validate counterexamples returned by the model checker,
+* cross-check the tableau construction against direct semantics in the test
+  suite (a strong oracle for the automaton code), and
+* present the witness runs found by the primary coverage question (Theorem 1)
+  to the user.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .ast import (
+    Always,
+    And,
+    Atom,
+    Eventually,
+    FalseFormula,
+    Formula,
+    Iff,
+    Implies,
+    Next,
+    Not,
+    Or,
+    Release,
+    TrueFormula,
+    Until,
+    WeakUntil,
+)
+
+__all__ = ["LassoTrace", "evaluate", "State"]
+
+State = Dict[str, bool]
+
+
+@dataclass(frozen=True)
+class LassoTrace:
+    """An ultimately periodic word: ``stem`` followed by ``loop`` forever."""
+
+    stem: Tuple[Mapping[str, bool], ...]
+    loop: Tuple[Mapping[str, bool], ...]
+
+    def __init__(self, stem: Sequence[Mapping[str, bool]], loop: Sequence[Mapping[str, bool]]):
+        if not loop:
+            raise ValueError("lasso loop must contain at least one state")
+        object.__setattr__(self, "stem", tuple(dict(state) for state in stem))
+        object.__setattr__(self, "loop", tuple(dict(state) for state in loop))
+
+    # -- positions -----------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of distinct positions (stem length + loop length)."""
+        return len(self.stem) + len(self.loop)
+
+    def normalize(self, position: int) -> int:
+        """Map an arbitrary position to its canonical index in ``[0, len))``."""
+        if position < len(self.stem):
+            return position
+        return len(self.stem) + (position - len(self.stem)) % len(self.loop)
+
+    def successor(self, position: int) -> int:
+        """Canonical index of the position following ``position``."""
+        position = self.normalize(position)
+        if position < len(self) - 1:
+            return position + 1
+        return len(self.stem)
+
+    def state_at(self, position: int) -> Mapping[str, bool]:
+        """The state at an arbitrary (possibly far) position."""
+        index = self.normalize(position)
+        if index < len(self.stem):
+            return self.stem[index]
+        return self.loop[index - len(self.stem)]
+
+    def value(self, name: str, position: int) -> bool:
+        """Value of a signal at a position (missing signals read as false)."""
+        return bool(self.state_at(position).get(name, False))
+
+    # -- convenience ----------------------------------------------------------
+    def signals(self) -> Tuple[str, ...]:
+        names = set()
+        for state in list(self.stem) + list(self.loop):
+            names.update(state.keys())
+        return tuple(sorted(names))
+
+    def prefix(self, length: int) -> List[Dict[str, bool]]:
+        """The first ``length`` states as plain dictionaries."""
+        return [dict(self.state_at(i)) for i in range(length)]
+
+    @staticmethod
+    def from_states(states: Sequence[Mapping[str, bool]], loop_start: int) -> "LassoTrace":
+        """Build a lasso from a state list and the index where the loop begins."""
+        if not 0 <= loop_start < len(states):
+            raise ValueError("loop_start must index into states")
+        return LassoTrace(states[:loop_start], states[loop_start:])
+
+    def to_table(self, length: Optional[int] = None) -> Dict[str, List[bool]]:
+        """Signal-major table of the first ``length`` cycles (default: one unrolling)."""
+        if length is None:
+            length = len(self) + len(self.loop)
+        return {name: [self.value(name, i) for i in range(length)] for name in self.signals()}
+
+
+def evaluate(formula: Formula, trace: LassoTrace, position: int = 0) -> bool:
+    """Decide whether ``trace, position |= formula`` (standard LTL semantics)."""
+    memo: Dict[Tuple[int, int], bool] = {}
+    return _eval(formula, trace, trace.normalize(position), memo)
+
+
+def _eval(
+    formula: Formula,
+    trace: LassoTrace,
+    position: int,
+    memo: Dict[Tuple[int, int], bool],
+) -> bool:
+    key = (id(formula), position)
+    if key in memo:
+        return memo[key]
+    result = _eval_uncached(formula, trace, position, memo)
+    memo[key] = result
+    return result
+
+
+def _positions_from(trace: LassoTrace, position: int) -> List[int]:
+    """All canonical positions reachable from ``position`` (covers the loop once)."""
+    positions = []
+    seen = set()
+    current = position
+    while current not in seen:
+        seen.add(current)
+        positions.append(current)
+        current = trace.successor(current)
+    return positions
+
+
+def _eval_uncached(
+    formula: Formula,
+    trace: LassoTrace,
+    position: int,
+    memo: Dict[Tuple[int, int], bool],
+) -> bool:
+    if isinstance(formula, Atom):
+        return trace.value(formula.name, position)
+    if isinstance(formula, TrueFormula):
+        return True
+    if isinstance(formula, FalseFormula):
+        return False
+    if isinstance(formula, Not):
+        return not _eval(formula.operand, trace, position, memo)
+    if isinstance(formula, And):
+        return _eval(formula.left, trace, position, memo) and _eval(formula.right, trace, position, memo)
+    if isinstance(formula, Or):
+        return _eval(formula.left, trace, position, memo) or _eval(formula.right, trace, position, memo)
+    if isinstance(formula, Implies):
+        return (not _eval(formula.left, trace, position, memo)) or _eval(formula.right, trace, position, memo)
+    if isinstance(formula, Iff):
+        return _eval(formula.left, trace, position, memo) == _eval(formula.right, trace, position, memo)
+    if isinstance(formula, Next):
+        return _eval(formula.operand, trace, trace.successor(position), memo)
+    if isinstance(formula, Eventually):
+        return any(
+            _eval(formula.operand, trace, p, memo) for p in _positions_from(trace, position)
+        )
+    if isinstance(formula, Always):
+        return all(
+            _eval(formula.operand, trace, p, memo) for p in _positions_from(trace, position)
+        )
+    if isinstance(formula, Until):
+        for p in _positions_from(trace, position):
+            if _eval(formula.right, trace, p, memo):
+                return True
+            if not _eval(formula.left, trace, p, memo):
+                return False
+        return False
+    if isinstance(formula, WeakUntil):
+        for p in _positions_from(trace, position):
+            if _eval(formula.right, trace, p, memo):
+                return True
+            if not _eval(formula.left, trace, p, memo):
+                return False
+        return True
+    if isinstance(formula, Release):
+        # p R q: q holds up to and including the first position where p holds;
+        # if p never holds, q must hold forever.
+        for p in _positions_from(trace, position):
+            if not _eval(formula.right, trace, p, memo):
+                return False
+            if _eval(formula.left, trace, p, memo):
+                return True
+        return True
+    raise TypeError(f"unknown formula type {type(formula).__name__}")

@@ -1,0 +1,23 @@
+"""Explicit-state LTL model checking on concrete RTL modules."""
+
+from .product import ProductStatistics, kripke_automata_product
+from .counterexample import lasso_to_signal_trace, trace_to_simulation
+from .modelcheck import (
+    ModelCheckResult,
+    ExistentialResult,
+    find_run,
+    check,
+    build_kripke,
+)
+
+__all__ = [
+    "ProductStatistics",
+    "kripke_automata_product",
+    "lasso_to_signal_trace",
+    "trace_to_simulation",
+    "ModelCheckResult",
+    "ExistentialResult",
+    "find_run",
+    "check",
+    "build_kripke",
+]

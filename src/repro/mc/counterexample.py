@@ -1,0 +1,48 @@
+"""Mapping product lassos back to signal-level counterexample traces."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..ltl.buchi import AcceptingLasso, GeneralizedBuchi
+from ..ltl.traces import LassoTrace
+from ..rtl.kripke import KripkeStructure
+from ..rtl.simulator import SimulationTrace
+
+__all__ = ["lasso_to_signal_trace", "trace_to_simulation"]
+
+
+def lasso_to_signal_trace(
+    product: GeneralizedBuchi,
+    lasso: AcceptingLasso,
+    kripke: KripkeStructure,
+) -> LassoTrace:
+    """Convert an accepting lasso of the product into a signal-level lasso.
+
+    Each product state is annotated with its ``(kripke_state, ...)`` tuple, so
+    the counterexample is simply the sequence of Kripke labels along the run.
+    """
+
+    def valuation_of(product_state: int) -> Dict[str, bool]:
+        annotation = product.annotations.get(product_state)
+        if isinstance(annotation, tuple) and annotation:
+            kripke_state = annotation[0]
+            return dict(kripke.label(kripke_state))
+        # Fall back to the product label itself.
+        return {name: value for name, value in product.labels.get(product_state, frozenset())}
+
+    stem = [valuation_of(state) for state in lasso.stem]
+    loop = [valuation_of(state) for state in lasso.loop]
+    if not loop:
+        loop = [dict(stem[-1])] if stem else [{}]
+    return LassoTrace(stem, loop)
+
+
+def trace_to_simulation(trace: LassoTrace, name: str, cycles: Optional[int] = None) -> SimulationTrace:
+    """Unroll a lasso trace into a plain simulation trace for waveform rendering."""
+    if cycles is None:
+        cycles = len(trace) + len(trace.loop)
+    result = SimulationTrace(name)
+    for cycle in range(cycles):
+        result.cycles.append(dict(trace.state_at(cycle)))
+    return result

@@ -1,0 +1,154 @@
+"""Product of a Kripke structure with property automata.
+
+The model-relative questions of the paper all have the shape "does the model
+``M`` (the concrete modules, with every undriven signal free) have a run
+satisfying the temporal formulas ``phi_1, ..., phi_n``?".  They are answered
+by building the synchronous product of
+
+* the Kripke structure of the concrete modules (every signal valued in each
+  state), and
+* one state-labelled Büchi automaton per formula (deterministic safety
+  monitors for the common ``G``-invariant shape, GPVW tableaux otherwise),
+
+and checking language emptiness of the product (shared SCC engine in
+:mod:`repro.ltl.buchi`).
+
+Because the Kripke state fixes the value of *every* signal, each automaton's
+compatible successors are filtered against that valuation before combining,
+so deterministic monitor components contribute exactly one successor and the
+product does not suffer the exponential branching a conjunction tableau would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..ltl.buchi import GeneralizedBuchi, Literal
+from ..rtl.kripke import KripkeStructure
+
+__all__ = ["ProductStatistics", "kripke_automata_product"]
+
+
+@dataclass
+class ProductStatistics:
+    """Size statistics of a product construction (reported in benchmarks)."""
+
+    kripke_states: int = 0
+    automata: int = 0
+    automata_states: int = 0
+    product_states: int = 0
+    product_transitions: int = 0
+
+
+def _compatible(label: FrozenSet[Literal], valuation: Mapping[str, bool]) -> bool:
+    """True when the automaton label agrees with a full signal valuation."""
+    for name, value in label:
+        if bool(valuation.get(name, False)) != value:
+            return False
+    return True
+
+
+def kripke_automata_product(
+    kripke: KripkeStructure,
+    automata: Sequence[GeneralizedBuchi],
+    *,
+    statistics: Optional[ProductStatistics] = None,
+) -> GeneralizedBuchi:
+    """Synchronous product of a Kripke structure and property automata.
+
+    The result is a :class:`~repro.ltl.buchi.GeneralizedBuchi` whose runs are
+    exactly the runs of the Kripke structure jointly accepted by every
+    automaton.  Product states are annotated with ``(kripke_state, component
+    states...)`` so counterexample lassos can be mapped back to signal
+    waveforms.
+    """
+    automata = list(automata)
+    product = GeneralizedBuchi()
+    index: Dict[Tuple[int, ...], int] = {}
+
+    if statistics is not None:
+        statistics.kripke_states = kripke.state_count()
+        statistics.automata = len(automata)
+        statistics.automata_states = sum(a.state_count() for a in automata)
+
+    def get_state(combo: Tuple[int, ...], initial: bool = False) -> int:
+        ident = index.get(combo)
+        if ident is None:
+            ident = len(index)
+            index[combo] = ident
+            valuation = kripke.label(combo[0])
+            label = frozenset((name, bool(value)) for name, value in valuation.items())
+            product.add_state(ident, label, initial=initial, annotation=combo)
+        elif initial:
+            product.initial.add(ident)
+        return ident
+
+    def compatible_states(automaton: GeneralizedBuchi, candidates: Iterable[int],
+                          valuation: Mapping[str, bool]) -> List[int]:
+        return [state for state in candidates
+                if _compatible(automaton.labels[state], valuation)]
+
+    # Initial product states.
+    worklist: List[Tuple[int, ...]] = []
+    seen: Set[Tuple[int, ...]] = set()
+    for kripke_state in sorted(kripke.initial):
+        valuation = kripke.label(kripke_state)
+        per_component = [
+            compatible_states(automaton, sorted(automaton.initial), valuation)
+            for automaton in automata
+        ]
+        if any(not choices for choices in per_component):
+            continue
+        for combo_rest in _cartesian(per_component):
+            combo = (kripke_state,) + combo_rest
+            get_state(combo, initial=True)
+            if combo not in seen:
+                seen.add(combo)
+                worklist.append(combo)
+
+    # Forward exploration.
+    while worklist:
+        combo = worklist.pop()
+        source = get_state(combo)
+        kripke_state = combo[0]
+        for kripke_target in sorted(kripke.successors(kripke_state)):
+            valuation = kripke.label(kripke_target)
+            per_component = [
+                compatible_states(
+                    automata[i], sorted(automata[i].transitions.get(combo[i + 1], set())), valuation
+                )
+                for i in range(len(automata))
+            ]
+            if any(not choices for choices in per_component):
+                continue
+            for combo_rest in _cartesian(per_component):
+                target_combo = (kripke_target,) + combo_rest
+                target = get_state(target_combo)
+                product.add_transition(source, target)
+                if target_combo not in seen:
+                    seen.add(target_combo)
+                    worklist.append(target_combo)
+
+    # Lift acceptance sets of every automaton to the product.
+    for component, automaton in enumerate(automata):
+        for accept_set in automaton.acceptance:
+            lifted = frozenset(
+                ident for combo, ident in index.items() if combo[component + 1] in accept_set
+            )
+            product.acceptance.append(lifted)
+
+    if statistics is not None:
+        statistics.product_states = product.state_count()
+        statistics.product_transitions = product.transition_count()
+    return product
+
+
+def _cartesian(choices: Sequence[Sequence[int]]) -> Iterable[Tuple[int, ...]]:
+    if not choices:
+        yield ()
+        return
+    head, *tail = choices
+    for value in head:
+        for rest in _cartesian(tail):
+            yield (value,) + rest

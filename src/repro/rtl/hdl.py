@@ -1,0 +1,277 @@
+"""A tiny structural/behavioural HDL front-end.
+
+Designs can be described either programmatically (building
+:class:`~repro.rtl.netlist.Module` objects directly) or in a small text
+language close to a Verilog subset::
+
+    module M1(input n1, input n2, input wait, output g1, output g2);
+      assign g1 = n1 & !wait;
+      assign g2 = n2 & !wait;
+    endmodule
+
+    module L1(input g1, input g2, input hit, output d1, output d2, output wait);
+      reg q1 init 0;
+      reg q2 init 0;
+      q1 <= g1 | (q1 & !hit);
+      q2 <= g2 | (q2 & !hit);
+      assign d1 = q1 & hit;
+      assign d2 = q2 & hit;
+      assign wait = q1 | q2 | g1 | g2;
+    endmodule
+
+Grammar summary
+---------------
+* ``module NAME ( port, ... );`` … ``endmodule`` — ports are
+  ``input NAME`` / ``output NAME``.
+* ``assign NAME = EXPR;`` — combinational assignment.
+* ``reg NAME init (0|1);`` — register declaration with reset value.
+* ``NAME <= EXPR;`` — register next-state function (``NAME`` must be a reg).
+* Expressions use ``! & | ^``, parentheses, and the constants ``0``/``1``;
+  ``~``, ``&&`` and ``||`` are accepted as aliases.
+* ``//`` comments run to end of line; ``/* ... */`` block comments allowed.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..logic.boolexpr import BoolExpr, and_, const, not_, or_, var, xor
+from .netlist import Module, NetlistError
+
+__all__ = ["parse_hdl", "parse_module", "parse_expr", "HDLError", "module_to_hdl"]
+
+
+class HDLError(ValueError):
+    """Raised when the HDL text cannot be parsed."""
+
+
+_COMMENT_LINE = re.compile(r"//[^\n]*")
+_COMMENT_BLOCK = re.compile(r"/\*.*?\*/", re.DOTALL)
+_IDENTIFIER = re.compile(r"[A-Za-z_][A-Za-z0-9_\.]*\Z")
+
+
+def _check_identifier(name: str, context: str, module_name: str) -> str:
+    if not _IDENTIFIER.match(name):
+        raise HDLError(f"invalid signal name {name!r} in {context} of module {module_name!r}")
+    return name
+
+
+def _strip_comments(text: str) -> str:
+    text = _COMMENT_BLOCK.sub(" ", text)
+    text = _COMMENT_LINE.sub(" ", text)
+    return text
+
+
+# ---------------------------------------------------------------------------
+# Expression parser (recursive descent over a token list).
+# ---------------------------------------------------------------------------
+
+_EXPR_TOKEN = re.compile(
+    r"\s*(?:(?P<ident>[A-Za-z_][A-Za-z0-9_\.]*)|(?P<const>[01])|(?P<op>\(|\)|!|~|\^|&&|\|\||&|\|))"
+)
+
+
+def _tokenize_expr(text: str) -> List[str]:
+    tokens: List[str] = []
+    position = 0
+    while position < len(text):
+        if text[position].isspace():
+            position += 1
+            continue
+        match = _EXPR_TOKEN.match(text, position)
+        if match is None:
+            raise HDLError(f"cannot tokenize expression at: {text[position:]!r}")
+        token = match.group("ident") or match.group("const") or match.group("op")
+        tokens.append(token)
+        position = match.end()
+    return tokens
+
+
+class _ExprParser:
+    def __init__(self, tokens: List[str], source: str):
+        self.tokens = tokens
+        self.source = source
+        self.index = 0
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.index] if self.index < len(self.tokens) else None
+
+    def advance(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise HDLError(f"unexpected end of expression in {self.source!r}")
+        self.index += 1
+        return token
+
+    def parse(self) -> BoolExpr:
+        expr = self.parse_or()
+        if self.peek() is not None:
+            raise HDLError(f"trailing tokens {self.tokens[self.index:]} in {self.source!r}")
+        return expr
+
+    def parse_or(self) -> BoolExpr:
+        left = self.parse_xor()
+        while self.peek() in ("|", "||"):
+            self.advance()
+            left = or_(left, self.parse_xor())
+        return left
+
+    def parse_xor(self) -> BoolExpr:
+        left = self.parse_and()
+        while self.peek() == "^":
+            self.advance()
+            left = xor(left, self.parse_and())
+        return left
+
+    def parse_and(self) -> BoolExpr:
+        left = self.parse_unary()
+        while self.peek() in ("&", "&&"):
+            self.advance()
+            left = and_(left, self.parse_unary())
+        return left
+
+    def parse_unary(self) -> BoolExpr:
+        token = self.peek()
+        if token in ("!", "~"):
+            self.advance()
+            return not_(self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> BoolExpr:
+        token = self.advance()
+        if token == "(":
+            inner = self.parse_or()
+            closing = self.advance()
+            if closing != ")":
+                raise HDLError(f"expected ')' in {self.source!r}")
+            return inner
+        if token in ("0", "1"):
+            return const(token == "1")
+        if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_\.]*", token):
+            return var(token)
+        raise HDLError(f"unexpected token {token!r} in {self.source!r}")
+
+
+def parse_expr(text: str) -> BoolExpr:
+    """Parse a boolean expression in HDL syntax."""
+    return _ExprParser(_tokenize_expr(text), text).parse()
+
+
+# ---------------------------------------------------------------------------
+# Module parser.
+# ---------------------------------------------------------------------------
+
+_MODULE_HEADER = re.compile(
+    r"module\s+(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*\((?P<ports>[^)]*)\)\s*;", re.DOTALL
+)
+
+
+def parse_hdl(text: str) -> Dict[str, Module]:
+    """Parse a source file that may contain several modules."""
+    text = _strip_comments(text)
+    modules: Dict[str, Module] = {}
+    position = 0
+    while True:
+        match = _MODULE_HEADER.search(text, position)
+        if match is None:
+            break
+        end = text.find("endmodule", match.end())
+        if end < 0:
+            raise HDLError(f"module {match.group('name')!r} is missing 'endmodule'")
+        body = text[match.end():end]
+        module = _build_module(match.group("name"), match.group("ports"), body)
+        if module.name in modules:
+            raise HDLError(f"duplicate module name {module.name!r}")
+        modules[module.name] = module
+        position = end + len("endmodule")
+    if not modules:
+        raise HDLError("no module found in HDL source")
+    return modules
+
+
+def parse_module(text: str) -> Module:
+    """Parse a source containing exactly one module."""
+    modules = parse_hdl(text)
+    if len(modules) != 1:
+        raise HDLError(f"expected exactly one module, found {sorted(modules)}")
+    return next(iter(modules.values()))
+
+
+def _build_module(name: str, ports_text: str, body: str) -> Module:
+    module = Module(name)
+    for port in ports_text.split(","):
+        port = port.strip()
+        if not port:
+            continue
+        parts = port.split()
+        if len(parts) != 2 or parts[0] not in ("input", "output"):
+            raise HDLError(f"malformed port declaration {port!r} in module {name!r}")
+        direction, signal = parts
+        if direction == "input":
+            module.add_input(signal)
+        else:
+            module.add_output(signal)
+
+    register_inits: Dict[str, bool] = {}
+    register_next: Dict[str, BoolExpr] = {}
+
+    for raw_statement in body.split(";"):
+        statement = raw_statement.strip()
+        if not statement:
+            continue
+        if statement.startswith("assign"):
+            rest = statement[len("assign"):].strip()
+            if "=" not in rest:
+                raise HDLError(f"malformed assign {statement!r} in module {name!r}")
+            target, expr_text = rest.split("=", 1)
+            module.add_assign(
+                _check_identifier(target.strip(), "assign", name), parse_expr(expr_text)
+            )
+        elif statement.startswith("reg"):
+            rest = statement[len("reg"):].strip()
+            parts = rest.split()
+            if not parts:
+                raise HDLError(f"malformed reg declaration {statement!r} in module {name!r}")
+            reg_name = parts[0]
+            init = False
+            if len(parts) >= 3 and parts[1] == "init":
+                if parts[2] not in ("0", "1"):
+                    raise HDLError(f"register init must be 0 or 1 in {statement!r}")
+                init = parts[2] == "1"
+            elif len(parts) != 1:
+                raise HDLError(f"malformed reg declaration {statement!r} in module {name!r}")
+            register_inits[reg_name] = init
+        elif "<=" in statement:
+            target, expr_text = statement.split("<=", 1)
+            register_next[_check_identifier(target.strip(), "register assignment", name)] = (
+                parse_expr(expr_text)
+            )
+        else:
+            raise HDLError(f"unrecognised statement {statement!r} in module {name!r}")
+
+    for reg_name, init in register_inits.items():
+        if reg_name not in register_next:
+            raise HDLError(f"register {reg_name!r} in module {name!r} has no next-state assignment")
+        module.add_register(reg_name, register_next[reg_name], init)
+    for reg_name in register_next:
+        if reg_name not in register_inits:
+            raise HDLError(f"signal {reg_name!r} in module {name!r} assigned with '<=' but not declared 'reg'")
+
+    module.validate(allow_undriven=True)
+    return module
+
+
+def module_to_hdl(module: Module) -> str:
+    """Render a module back to HDL text (round-trips through :func:`parse_module`)."""
+    ports = [f"input {name}" for name in module.inputs]
+    ports += [f"output {name}" for name in module.outputs]
+    lines = [f"module {module.name}({', '.join(ports)});"]
+    for name, register in module.registers.items():
+        lines.append(f"  reg {name} init {1 if register.init else 0};")
+    for name, register in module.registers.items():
+        lines.append(f"  {name} <= {register.next_value.to_str()};")
+    for name, expr in module.assigns.items():
+        lines.append(f"  assign {name} = {expr.to_str()};")
+    lines.append("endmodule")
+    return "\n".join(lines)

@@ -1,0 +1,187 @@
+"""Kripke structures for concrete modules.
+
+The primary coverage question of the paper (Theorem 1) asks whether the
+temporal property ``!A & R`` is false *in the model consisting of the concrete
+modules* — i.e. a model-checking run on a Kripke structure whose behaviours
+are exactly the runs consistent with the concrete RTL, with every signal the
+RTL does not drive left free (the environment, including the signals of the
+sub-modules that were specified by properties rather than RTL).
+
+:func:`kripke_from_module` builds that structure explicitly:
+
+* a state is a pair (register valuation, free-signal valuation); its label is
+  the *full* signal valuation obtained by evaluating the combinational logic,
+* there is a transition to every state whose register valuation is the one
+  computed by the netlist and whose free signals take arbitrary values,
+* initial states are all states whose registers carry their reset values.
+
+Signals mentioned by the architectural or RTL properties but absent from the
+concrete modules (e.g. ``r1``/``r2`` in the paper's Example 1, which only the
+priority arbiter's properties mention) are added as ``extra_free`` signals so
+the property automata can constrain them in the product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..logic.boolexpr import all_assignments
+from .netlist import Module
+
+__all__ = ["KripkeStructure", "kripke_from_module"]
+
+
+@dataclass
+class KripkeStructure:
+    """Explicit Kripke structure with full signal valuations as labels."""
+
+    name: str
+    atoms: Tuple[str, ...]
+    labels: List[Dict[str, bool]] = field(default_factory=list)
+    initial: Set[int] = field(default_factory=set)
+    transitions: Dict[int, Set[int]] = field(default_factory=dict)
+    annotations: List[Tuple[Tuple[Tuple[str, bool], ...], Tuple[Tuple[str, bool], ...]]] = field(
+        default_factory=list
+    )
+
+    # -- construction ---------------------------------------------------------
+    def add_state(
+        self,
+        label: Mapping[str, bool],
+        *,
+        initial: bool = False,
+        annotation: Tuple[Tuple[Tuple[str, bool], ...], Tuple[Tuple[str, bool], ...]] = ((), ()),
+    ) -> int:
+        index = len(self.labels)
+        self.labels.append({name: bool(value) for name, value in label.items()})
+        self.annotations.append(annotation)
+        self.transitions.setdefault(index, set())
+        if initial:
+            self.initial.add(index)
+        return index
+
+    def add_transition(self, source: int, target: int) -> None:
+        self.transitions.setdefault(source, set()).add(target)
+        self.transitions.setdefault(target, set())
+
+    # -- queries -----------------------------------------------------------------
+    def state_count(self) -> int:
+        return len(self.labels)
+
+    def transition_count(self) -> int:
+        return sum(len(targets) for targets in self.transitions.values())
+
+    def label(self, state: int) -> Dict[str, bool]:
+        return self.labels[state]
+
+    def successors(self, state: int) -> FrozenSet[int]:
+        return frozenset(self.transitions.get(state, set()))
+
+    def value(self, state: int, name: str) -> bool:
+        return bool(self.labels[state].get(name, False))
+
+    def reachable_states(self) -> Set[int]:
+        seen: Set[int] = set()
+        stack = list(self.initial)
+        while stack:
+            state = stack.pop()
+            if state in seen:
+                continue
+            seen.add(state)
+            stack.extend(self.transitions.get(state, set()))
+        return seen
+
+    def summary(self) -> str:
+        return (
+            f"Kripke({self.name}): {self.state_count()} states, "
+            f"{self.transition_count()} transitions, {len(self.atoms)} atoms"
+        )
+
+
+def kripke_from_module(
+    module: Module,
+    extra_free: Sequence[str] = (),
+    *,
+    observed: Optional[Sequence[str]] = None,
+) -> KripkeStructure:
+    """Build the Kripke structure of a concrete module composition.
+
+    Parameters
+    ----------
+    module:
+        The (composed) concrete modules, e.g. ``compose([m1, l1])``.
+    extra_free:
+        Signals that appear in properties but are not part of the module; they
+        become unconstrained environment signals of the structure.
+    observed:
+        Restrict state labels to these signals (default: every module signal
+        plus the extra free signals).  Labels always retain enough signals for
+        the property automata, so pass the union of ``APA`` and ``APR`` plus
+        anything you want in counterexample waveforms.
+    """
+    module.validate(allow_undriven=True)
+
+    free_names: List[str] = list(module.inputs)
+    for name in sorted(module.undriven_signals()):
+        if name not in free_names:
+            free_names.append(name)
+    for name in extra_free:
+        if name not in free_names and name not in module.assigns and name not in module.registers:
+            free_names.append(name)
+
+    register_names = list(module.state_signals())
+    all_signals = sorted(set(module.signals()) | set(free_names))
+    label_names = list(observed) if observed is not None else all_signals
+
+    structure = KripkeStructure(name=module.name, atoms=tuple(label_names))
+
+    state_index: Dict[Tuple[Tuple[bool, ...], Tuple[bool, ...]], int] = {}
+    free_assignments = [
+        tuple(assignment[name] for name in free_names) for assignment in all_assignments(free_names)
+    ]
+
+    def register_key(registers: Mapping[str, bool]) -> Tuple[bool, ...]:
+        return tuple(bool(registers[name]) for name in register_names)
+
+    def get_state(registers: Mapping[str, bool], free_values: Tuple[bool, ...], initial: bool) -> int:
+        key = (register_key(registers), free_values)
+        if key in state_index:
+            if initial:
+                structure.initial.add(state_index[key])
+            return state_index[key]
+        inputs = dict(zip(free_names, free_values))
+        valuation = module.evaluate_combinational(registers, inputs)
+        # Extra free signals that the module does not know about.
+        for name, value in inputs.items():
+            valuation.setdefault(name, value)
+        label = {name: bool(valuation.get(name, False)) for name in label_names}
+        annotation = (
+            tuple(sorted((name, bool(registers[name])) for name in register_names)),
+            tuple(zip(free_names, free_values)),
+        )
+        index = structure.add_state(label, initial=initial, annotation=annotation)
+        state_index[key] = index
+        return index
+
+    initial_registers = module.initial_state()
+    worklist: List[Tuple[Dict[str, bool], Tuple[bool, ...]]] = []
+    for free_values in free_assignments:
+        index = get_state(initial_registers, free_values, initial=True)
+        worklist.append((dict(initial_registers), free_values))
+
+    processed: Set[int] = set()
+    while worklist:
+        registers, free_values = worklist.pop()
+        source = get_state(registers, free_values, initial=False)
+        if source in processed:
+            continue
+        processed.add(source)
+        inputs = dict(zip(free_names, free_values))
+        valuation, next_registers = module.step(registers, inputs)
+        for next_free in free_assignments:
+            target = get_state(next_registers, next_free, initial=False)
+            structure.add_transition(source, target)
+            if target not in processed:
+                worklist.append((dict(next_registers), next_free))
+    return structure

@@ -1,0 +1,225 @@
+"""Synthesisable RTL netlist model.
+
+A :class:`Module` is a synchronous netlist over boolean signals:
+
+* **inputs** — signals driven by the environment,
+* **combinational assignments** — ``signal = BoolExpr`` over other signals,
+* **registers (latches)** — ``signal <= BoolExpr`` evaluated on the clock
+  edge, with an initial value,
+* **outputs** — the subset of signals exported at the module interface.
+
+This is the "concrete module" object of the paper: the glue logic ``M1`` and
+the cache access logic ``L1`` of the Memory Arbitration Logic, the AMBA
+arbiter, etc. are all instances.  Downstream consumers are the cycle
+simulator (:mod:`repro.rtl.simulator`), the FSM extractor
+(:mod:`repro.rtl.fsm`), the Kripke-structure builder
+(:mod:`repro.rtl.kripke`) and the ``T_M`` characteristic-formula construction
+(:mod:`repro.core.tm`).
+
+Validation performed at :meth:`Module.validate` / :meth:`Module.freeze`:
+single driver per signal, no undeclared signals, and no combinational cycles
+(a topological order of the combinational assignments is computed and cached).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..logic.boolexpr import BoolExpr, Const, and_, const, var
+
+__all__ = ["Module", "Register", "NetlistError"]
+
+
+class NetlistError(ValueError):
+    """Raised for malformed netlists (multiple drivers, cycles, missing nets)."""
+
+
+@dataclass(frozen=True)
+class Register:
+    """A D-type register: ``name`` takes ``next_value`` at each clock edge."""
+
+    name: str
+    next_value: BoolExpr
+    init: bool = False
+
+
+@dataclass
+class Module:
+    """A flat synchronous netlist (see module docstring)."""
+
+    name: str
+    inputs: List[str] = field(default_factory=list)
+    outputs: List[str] = field(default_factory=list)
+    assigns: Dict[str, BoolExpr] = field(default_factory=dict)
+    registers: Dict[str, Register] = field(default_factory=dict)
+    _eval_order: Optional[List[str]] = field(default=None, repr=False, compare=False)
+
+    # -- construction --------------------------------------------------------
+    def add_input(self, name: str) -> "Module":
+        if name in self.inputs:
+            return self
+        self._check_not_driven(name)
+        self.inputs.append(name)
+        self._eval_order = None
+        return self
+
+    def add_output(self, name: str) -> "Module":
+        if name not in self.outputs:
+            self.outputs.append(name)
+        return self
+
+    def add_assign(self, name: str, expr: BoolExpr) -> "Module":
+        """Add a combinational assignment ``name = expr``."""
+        self._check_not_driven(name)
+        self.assigns[name] = expr
+        self._eval_order = None
+        return self
+
+    def add_register(self, name: str, next_value: BoolExpr, init: bool = False) -> "Module":
+        """Add a register ``name <= next_value`` with the given reset value."""
+        self._check_not_driven(name)
+        self.registers[name] = Register(name, next_value, init)
+        self._eval_order = None
+        return self
+
+    def _check_not_driven(self, name: str) -> None:
+        if name in self.assigns:
+            raise NetlistError(f"signal {name!r} already driven by an assign in {self.name}")
+        if name in self.registers:
+            raise NetlistError(f"signal {name!r} already driven by a register in {self.name}")
+        if name in self.inputs:
+            raise NetlistError(f"signal {name!r} is an input of {self.name} and cannot be driven")
+
+    # -- signal sets -----------------------------------------------------------
+    def signals(self) -> FrozenSet[str]:
+        """All signals known to the module (inputs, register outputs, nets)."""
+        names: Set[str] = set(self.inputs) | set(self.outputs)
+        names |= set(self.assigns.keys()) | set(self.registers.keys())
+        for expr in self.assigns.values():
+            names |= set(expr.variables())
+        for register in self.registers.values():
+            names |= set(register.next_value.variables())
+        return frozenset(names)
+
+    def state_signals(self) -> Tuple[str, ...]:
+        """Register output names in declaration order."""
+        return tuple(self.registers.keys())
+
+    def combinational_signals(self) -> Tuple[str, ...]:
+        return tuple(self.assigns.keys())
+
+    def interface_signals(self) -> Tuple[str, ...]:
+        """Inputs followed by outputs: the signals visible at the boundary."""
+        return tuple(self.inputs) + tuple(self.outputs)
+
+    def is_combinational(self) -> bool:
+        """True when the module has no registers (pure glue logic)."""
+        return not self.registers
+
+    def initial_state(self) -> Dict[str, bool]:
+        """Initial valuation of the registers."""
+        return {name: register.init for name, register in self.registers.items()}
+
+    # -- validation --------------------------------------------------------------
+    def undriven_signals(self) -> FrozenSet[str]:
+        """Signals referenced but neither inputs nor driven (implicit inputs)."""
+        driven = set(self.inputs) | set(self.assigns) | set(self.registers)
+        return frozenset(name for name in self.signals() if name not in driven)
+
+    def validate(self, allow_undriven: bool = False) -> None:
+        """Check structural well-formedness; raises :class:`NetlistError`."""
+        undriven = self.undriven_signals()
+        if undriven and not allow_undriven:
+            raise NetlistError(
+                f"module {self.name!r} references undriven signals: {sorted(undriven)}"
+            )
+        for name in self.outputs:
+            if name not in self.assigns and name not in self.registers and name not in self.inputs:
+                if not allow_undriven:
+                    raise NetlistError(f"output {name!r} of {self.name!r} is not driven")
+        self.evaluation_order()  # raises on combinational cycles
+
+    def evaluation_order(self) -> List[str]:
+        """Topological order of combinational assignments (cached)."""
+        if self._eval_order is not None:
+            return list(self._eval_order)
+        dependencies: Dict[str, Set[str]] = {}
+        for name, expr in self.assigns.items():
+            dependencies[name] = {
+                dep for dep in expr.variables() if dep in self.assigns
+            }
+        order: List[str] = []
+        visiting: Set[str] = set()
+        visited: Set[str] = set()
+
+        def visit(node: str, chain: List[str]) -> None:
+            if node in visited:
+                return
+            if node in visiting:
+                cycle = " -> ".join(chain + [node])
+                raise NetlistError(f"combinational cycle in module {self.name!r}: {cycle}")
+            visiting.add(node)
+            for dependency in sorted(dependencies[node]):
+                visit(dependency, chain + [node])
+            visiting.discard(node)
+            visited.add(node)
+            order.append(node)
+
+        for name in sorted(self.assigns):
+            visit(name, [])
+        self._eval_order = order
+        return list(order)
+
+    # -- evaluation -----------------------------------------------------------------
+    def evaluate_combinational(
+        self, state: Mapping[str, bool], inputs: Mapping[str, bool]
+    ) -> Dict[str, bool]:
+        """Evaluate all combinational nets given register values and inputs.
+
+        Returns a full valuation of every signal of the module for one cycle.
+        """
+        valuation: Dict[str, bool] = {}
+        valuation.update({name: bool(value) for name, value in state.items()})
+        valuation.update({name: bool(value) for name, value in inputs.items()})
+        for name in self.evaluation_order():
+            valuation[name] = self.assigns[name].evaluate(valuation)
+        return valuation
+
+    def next_state(self, valuation: Mapping[str, bool]) -> Dict[str, bool]:
+        """Compute register values for the next cycle from a full valuation."""
+        return {
+            name: register.next_value.evaluate(valuation)
+            for name, register in self.registers.items()
+        }
+
+    def step(
+        self, state: Mapping[str, bool], inputs: Mapping[str, bool]
+    ) -> Tuple[Dict[str, bool], Dict[str, bool]]:
+        """One clock cycle: returns ``(full valuation, next register state)``."""
+        valuation = self.evaluate_combinational(state, inputs)
+        return valuation, self.next_state(valuation)
+
+    # -- reporting ---------------------------------------------------------------------
+    def summary(self) -> str:
+        """One-line structural summary used by the CLI and reports."""
+        return (
+            f"module {self.name}: {len(self.inputs)} inputs, {len(self.outputs)} outputs, "
+            f"{len(self.assigns)} assigns, {len(self.registers)} registers"
+        )
+
+    def port_map(self) -> Dict[str, str]:
+        """Classification of every signal (input/output/register/wire)."""
+        classes: Dict[str, str] = {}
+        for name in self.signals():
+            if name in self.inputs:
+                classes[name] = "input"
+            elif name in self.registers:
+                classes[name] = "register"
+            elif name in self.assigns:
+                classes[name] = "wire"
+            else:
+                classes[name] = "floating"
+            if name in self.outputs:
+                classes[name] = f"output ({classes[name]})"
+        return classes

@@ -1,0 +1,450 @@
+"""Conflict-driven clause-learning SAT solver.
+
+The solver implements the standard CDCL loop used by modern SAT engines,
+scaled to the problem sizes produced by :mod:`repro.bmc` (tens of thousands
+of clauses):
+
+* two-watched-literal unit propagation,
+* first-UIP conflict analysis with clause learning,
+* non-chronological backjumping,
+* VSIDS-style activity-based branching with phase saving,
+* Luby-sequence restarts,
+* learned-clause deletion based on activity.
+
+A deliberately naive :func:`solve_brute_force` reference is also provided;
+the property-based tests cross-check the two on random formulas.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .cnf import CNF, Clause, Literal
+
+__all__ = ["SatResult", "SatSolver", "solve", "solve_brute_force"]
+
+
+@dataclass
+class SatResult:
+    """Outcome of a SAT query."""
+
+    satisfiable: bool
+    assignment: Dict[str, bool] = field(default_factory=dict)
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    restarts: int = 0
+    learned_clauses: int = 0
+
+    def __bool__(self) -> bool:
+        return self.satisfiable
+
+    def value(self, name: str) -> bool:
+        """Value of a named variable in the model (defaults to ``False``)."""
+        return self.assignment.get(name, False)
+
+    def summary(self) -> str:
+        status = "SAT" if self.satisfiable else "UNSAT"
+        return (
+            f"{status}: {self.decisions} decisions, {self.conflicts} conflicts, "
+            f"{self.propagations} propagations, {self.restarts} restarts"
+        )
+
+
+class _ClauseRef:
+    """Mutable clause record used internally (original or learned)."""
+
+    __slots__ = ("literals", "learned", "activity")
+
+    def __init__(self, literals: List[int], learned: bool = False):
+        self.literals = literals
+        self.learned = learned
+        self.activity = 0.0
+
+
+def _luby(index: int) -> int:
+    """The Luby restart sequence (1, 1, 2, 1, 1, 2, 4, ...), 1-based.
+
+    ``luby(2^k - 1) = 2^(k-1)``; otherwise the value repeats the prefix:
+    ``luby(i) = luby(i - 2^(k-1) + 1)`` where ``k`` is the bit length of ``i``.
+    """
+    if index < 1:
+        raise ValueError("the Luby sequence is 1-based")
+    while True:
+        k = index.bit_length()
+        if (1 << k) - 1 == index:
+            return 1 << (k - 1)
+        index -= (1 << (k - 1)) - 1
+
+
+class SatSolver:
+    """CDCL solver over a :class:`~repro.sat.cnf.CNF` formula."""
+
+    def __init__(self, cnf: CNF):
+        self._cnf = cnf
+        self._num_vars = cnf.variable_count()
+        # assignment[v] is None / True / False, indexed from 1
+        self._assignment: List[Optional[bool]] = [None] * (self._num_vars + 1)
+        self._level: List[int] = [0] * (self._num_vars + 1)
+        self._reason: List[Optional[_ClauseRef]] = [None] * (self._num_vars + 1)
+        self._activity: List[float] = [0.0] * (self._num_vars + 1)
+        self._phase: List[bool] = [False] * (self._num_vars + 1)
+        self._trail: List[int] = []
+        self._trail_limits: List[int] = []
+        self._clauses: List[_ClauseRef] = []
+        self._learned: List[_ClauseRef] = []
+        self._watches: Dict[int, List[_ClauseRef]] = {}
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._clause_inc = 1.0
+        self._clause_decay = 0.999
+        self._result_stats = SatResult(False)
+        self._empty_clause = False
+        for clause in cnf.clauses:
+            self._add_clause([int(lit) for lit in clause.literals], learned=False)
+        # Branch only on variables that occur in the formula: the pool may be
+        # shared with other queries (incremental BMC) and carry thousands of
+        # variables that are irrelevant here.
+        self._relevant: List[int] = sorted(
+            {abs(literal) for ref in self._clauses for literal in ref.literals}
+        )
+
+    # -- clause management -----------------------------------------------------
+    def _add_clause(self, literals: List[int], learned: bool) -> Optional[_ClauseRef]:
+        literals = list(dict.fromkeys(literals))
+        if not literals:
+            self._empty_clause = True
+            return None
+        ref = _ClauseRef(literals, learned)
+        if learned:
+            self._learned.append(ref)
+            self._result_stats.learned_clauses += 1
+        else:
+            self._clauses.append(ref)
+        if len(literals) == 1:
+            return ref
+        self._watch(literals[0], ref)
+        self._watch(literals[1], ref)
+        return ref
+
+    def _watch(self, literal: int, ref: _ClauseRef) -> None:
+        self._watches.setdefault(-literal, []).append(ref)
+
+    def _ensure_variable(self, variable: int) -> None:
+        """Grow the per-variable arrays when an assumption names a new variable."""
+        while self._num_vars < variable:
+            self._num_vars += 1
+            self._assignment.append(None)
+            self._level.append(0)
+            self._reason.append(None)
+            self._activity.append(0.0)
+            self._phase.append(False)
+
+    # -- assignment helpers ------------------------------------------------------
+    def _value(self, literal: int) -> Optional[bool]:
+        value = self._assignment[abs(literal)]
+        if value is None:
+            return None
+        return value if literal > 0 else not value
+
+    def _decision_level(self) -> int:
+        return len(self._trail_limits)
+
+    def _assign(self, literal: int, reason: Optional[_ClauseRef]) -> None:
+        variable = abs(literal)
+        self._assignment[variable] = literal > 0
+        self._level[variable] = self._decision_level()
+        self._reason[variable] = reason
+        self._phase[variable] = literal > 0
+        self._trail.append(literal)
+
+    def _unassign_to(self, level: int) -> None:
+        if level >= len(self._trail_limits):
+            return
+        target = self._trail_limits[level]
+        for literal in reversed(self._trail[target:]):
+            variable = abs(literal)
+            self._assignment[variable] = None
+            self._reason[variable] = None
+        del self._trail[target:]
+        del self._trail_limits[level:]
+
+    # -- propagation ---------------------------------------------------------------
+    def _propagate(self, queue_start: int) -> Optional[_ClauseRef]:
+        """Unit propagation; returns a conflicting clause or ``None``."""
+        index = queue_start
+        while index < len(self._trail):
+            literal = self._trail[index]
+            index += 1
+            self._result_stats.propagations += 1
+            watchers = self._watches.get(literal, [])
+            retained: List[_ClauseRef] = []
+            position = 0
+            while position < len(watchers):
+                ref = watchers[position]
+                position += 1
+                literals = ref.literals
+                # Normalise so literals[0] or literals[1] is the falsified watch.
+                falsified = -literal
+                if literals[0] == falsified:
+                    literals[0], literals[1] = literals[1], literals[0]
+                # literals[1] is now the falsified literal.
+                first = literals[0]
+                if self._value(first) is True:
+                    retained.append(ref)
+                    continue
+                moved = False
+                for other_index in range(2, len(literals)):
+                    candidate = literals[other_index]
+                    if self._value(candidate) is not False:
+                        literals[1], literals[other_index] = literals[other_index], literals[1]
+                        self._watch(literals[1], ref)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                retained.append(ref)
+                if self._value(first) is False:
+                    # Conflict: keep remaining watchers and report.
+                    retained.extend(watchers[position:])
+                    self._watches[literal] = retained
+                    return ref
+                self._assign(first, ref)
+            self._watches[literal] = retained
+        return None
+
+    # -- conflict analysis ------------------------------------------------------------
+    def _bump_variable(self, variable: int) -> None:
+        self._activity[variable] += self._var_inc
+        if self._activity[variable] > 1e100:
+            for index in range(1, self._num_vars + 1):
+                self._activity[index] *= 1e-100
+            self._var_inc *= 1e-100
+
+    def _bump_clause(self, ref: _ClauseRef) -> None:
+        ref.activity += self._clause_inc
+        if ref.activity > 1e20:
+            for learned in self._learned:
+                learned.activity *= 1e-20
+            self._clause_inc *= 1e-20
+
+    def _analyze(self, conflict: _ClauseRef) -> Tuple[List[int], int]:
+        """First-UIP conflict analysis; returns (learned clause, backjump level)."""
+        learned: List[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * (self._num_vars + 1)
+        counter = 0
+        literal = 0
+        reason: Optional[_ClauseRef] = conflict
+        trail_index = len(self._trail) - 1
+        current_level = self._decision_level()
+
+        while True:
+            assert reason is not None
+            self._bump_clause(reason) if reason.learned else None
+            start = 1 if literal != 0 else 0
+            for clause_literal in reason.literals[start:]:
+                variable = abs(clause_literal)
+                if seen[variable] or self._level[variable] == 0:
+                    continue
+                seen[variable] = True
+                self._bump_variable(variable)
+                if self._level[variable] == current_level:
+                    counter += 1
+                else:
+                    learned.append(clause_literal)
+            # Pick the next literal on the trail to resolve on.
+            while not seen[abs(self._trail[trail_index])]:
+                trail_index -= 1
+            literal = self._trail[trail_index]
+            trail_index -= 1
+            variable = abs(literal)
+            seen[variable] = False
+            counter -= 1
+            if counter == 0:
+                break
+            reason = self._reason[variable]
+        learned[0] = -literal
+
+        if len(learned) == 1:
+            return learned, 0
+        # Backjump to the second-highest decision level in the clause.
+        levels = sorted((self._level[abs(lit)] for lit in learned[1:]), reverse=True)
+        backjump = levels[0]
+        # Move a literal of that level into the second watch position.
+        for index in range(1, len(learned)):
+            if self._level[abs(learned[index])] == backjump:
+                learned[1], learned[index] = learned[index], learned[1]
+                break
+        return learned, backjump
+
+    # -- branching ------------------------------------------------------------------------
+    def _pick_branch_variable(self) -> Optional[int]:
+        best: Optional[int] = None
+        best_activity = -1.0
+        for variable in self._relevant:
+            if self._assignment[variable] is None and self._activity[variable] > best_activity:
+                best = variable
+                best_activity = self._activity[variable]
+        return best
+
+    def _reduce_learned(self) -> None:
+        """Drop the least active half of the learned clauses (keep binary ones)."""
+        if len(self._learned) < 2:
+            return
+        self._learned.sort(key=lambda ref: ref.activity)
+        keep_from = len(self._learned) // 2
+        removable = {
+            id(ref)
+            for ref in self._learned[:keep_from]
+            if len(ref.literals) > 2 and not self._is_reason(ref)
+        }
+        if not removable:
+            return
+        self._learned = [ref for ref in self._learned if id(ref) not in removable]
+        for literal, watchers in self._watches.items():
+            self._watches[literal] = [ref for ref in watchers if id(ref) not in removable]
+
+    def _is_reason(self, ref: _ClauseRef) -> bool:
+        return any(reason is ref for reason in self._reason)
+
+    # -- main loop --------------------------------------------------------------------------
+    def solve(
+        self,
+        assumptions: Sequence[Literal] = (),
+        *,
+        max_conflicts: Optional[int] = None,
+    ) -> SatResult:
+        """Run the CDCL loop.
+
+        ``assumptions`` are decision-level-zero unit assumptions (used by the
+        BMC engine for incremental bound extension).  When ``max_conflicts``
+        is exceeded the search is abandoned and the result reports
+        unsatisfiable with ``conflicts`` equal to the limit — callers that
+        need completeness must leave it unset.
+        """
+        stats = self._result_stats
+        if self._empty_clause:
+            return SatResult(False)
+
+        # Assert unit clauses and assumptions at level zero.
+        for ref in itertools.chain(self._clauses, self._learned):
+            if len(ref.literals) == 1:
+                literal = ref.literals[0]
+                value = self._value(literal)
+                if value is False:
+                    return SatResult(False)
+                if value is None:
+                    self._assign(literal, ref)
+        for assumption in assumptions:
+            literal = int(assumption)
+            self._ensure_variable(abs(literal))
+            value = self._value(literal)
+            if value is False:
+                return SatResult(False)
+            if value is None:
+                self._assign(literal, None)
+
+        conflict = self._propagate(0)
+        if conflict is not None:
+            return SatResult(False)
+
+        restart_index = 1
+        conflicts_until_restart = 32 * _luby(restart_index)
+        conflicts_since_restart = 0
+        learned_limit = max(100, len(self._clauses) // 2)
+        root_trail_size = len(self._trail)
+
+        while True:
+            if max_conflicts is not None and stats.conflicts >= max_conflicts:
+                result = SatResult(False)
+                result.conflicts = stats.conflicts
+                result.decisions = stats.decisions
+                result.propagations = stats.propagations
+                result.restarts = stats.restarts
+                result.learned_clauses = stats.learned_clauses
+                return result
+            variable = self._pick_branch_variable()
+            if variable is None:
+                named_count = len(self._cnf.pool)
+                assignment = {
+                    self._cnf.pool.name_of(index): bool(self._assignment[index])
+                    for index in range(1, min(self._num_vars, named_count) + 1)
+                    if self._assignment[index] is not None
+                }
+                return SatResult(
+                    True,
+                    assignment,
+                    conflicts=stats.conflicts,
+                    decisions=stats.decisions,
+                    propagations=stats.propagations,
+                    restarts=stats.restarts,
+                    learned_clauses=stats.learned_clauses,
+                )
+            stats.decisions += 1
+            self._trail_limits.append(len(self._trail))
+            self._assign(variable if self._phase[variable] else -variable, None)
+
+            while True:
+                conflict = self._propagate(self._trail_limits[-1] if self._trail_limits else 0)
+                if conflict is None:
+                    break
+                stats.conflicts += 1
+                conflicts_since_restart += 1
+                if self._decision_level() == 0:
+                    return SatResult(
+                        False,
+                        conflicts=stats.conflicts,
+                        decisions=stats.decisions,
+                        propagations=stats.propagations,
+                        restarts=stats.restarts,
+                        learned_clauses=stats.learned_clauses,
+                    )
+                learned, backjump = self._analyze(conflict)
+                self._unassign_to(backjump)
+                ref = self._add_clause(learned, learned=True)
+                self._var_inc /= self._var_decay
+                self._clause_inc /= self._clause_decay
+                if ref is not None:
+                    self._assign(learned[0], ref if len(learned) > 1 else ref)
+                conflict = None
+                if len(self._learned) > learned_limit:
+                    self._reduce_learned()
+                    learned_limit = int(learned_limit * 1.3)
+                if conflicts_since_restart >= conflicts_until_restart:
+                    conflicts_since_restart = 0
+                    restart_index += 1
+                    conflicts_until_restart = 32 * _luby(restart_index)
+                    stats.restarts += 1
+                    self._unassign_to(0)
+                    conflict = self._propagate(root_trail_size)
+                    if conflict is not None:
+                        return SatResult(
+                            False,
+                            conflicts=stats.conflicts,
+                            decisions=stats.decisions,
+                            propagations=stats.propagations,
+                            restarts=stats.restarts,
+                            learned_clauses=stats.learned_clauses,
+                        )
+                    break
+
+
+def solve(cnf: CNF, assumptions: Sequence[Literal] = ()) -> SatResult:
+    """Solve a CNF formula with a fresh :class:`SatSolver`."""
+    return SatSolver(cnf).solve(assumptions)
+
+
+def _all_assignments(variables: Sequence[int]) -> Iterator[Dict[int, bool]]:
+    for bits in itertools.product([False, True], repeat=len(variables)):
+        yield dict(zip(variables, bits))
+
+
+def solve_brute_force(cnf: CNF) -> SatResult:
+    """Reference solver: enumerate all assignments (exponential; tests only)."""
+    variables = sorted({variable for clause in cnf.clauses for variable in clause.variables()})
+    for assignment in _all_assignments(variables):
+        if cnf.evaluate(assignment) is True:
+            return SatResult(True, cnf.pool.decode(assignment))
+    return SatResult(False)

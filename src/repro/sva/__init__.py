@@ -1,0 +1,53 @@
+"""SVA-flavoured property sugar.
+
+The paper's properties are plain LTL, but practising validation engineers
+write SystemVerilog Assertions.  This package provides the small sequence /
+property subset that covers the specification styles used in the paper's
+case studies (arbiter handshakes, grant-follows-request, bounded delays) and
+desugars it into the :mod:`repro.ltl` formulas the rest of the tool consumes:
+
+* **sequences** — boolean expressions chained with ``##n`` / ``##[m:n]``
+  cycle delays and ``[*n]`` / ``[*m:n]`` consecutive repetition,
+* **properties** — sequences under overlapping ``|->`` and non-overlapping
+  ``|=>`` implication, ``not``, ``and``, ``or``, and the directives
+  ``always`` / ``s_eventually``,
+* a text front-end (:func:`parse_sva`) and a combinator API
+  (:class:`Sequence`, :func:`delay`, :func:`repeat`, ...).
+
+The subset is deliberately finite-bounded (no unbounded ``[*]`` repetition),
+so every sequence has an exact LTL translation — no strength subtleties.
+"""
+
+from .sequences import (
+    Sequence,
+    SVAError,
+    concat,
+    delay,
+    first_match_length,
+    repeat,
+    seq,
+)
+from .properties import (
+    Property,
+    always,
+    implication,
+    non_overlapping_implication,
+    s_eventually,
+)
+from .parser import parse_sva
+
+__all__ = [
+    "Sequence",
+    "SVAError",
+    "seq",
+    "delay",
+    "concat",
+    "repeat",
+    "first_match_length",
+    "Property",
+    "always",
+    "implication",
+    "non_overlapping_implication",
+    "s_eventually",
+    "parse_sva",
+]

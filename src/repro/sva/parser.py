@@ -1,0 +1,255 @@
+"""Text front-end for the SVA subset.
+
+Grammar (property operators loosest to tightest)::
+
+    property    ::= implication
+    implication ::= sequence ('|->' | '|=>') property | disjunction
+    disjunction ::= conjunction ('or' conjunction)*
+    conjunction ::= unary ('and' unary)*
+    unary       ::= 'not' unary | 'always' unary | 's_eventually' unary | primary
+    primary     ::= sequence | '(' property ')'
+
+    sequence    ::= element (('##' INT | '##[' INT ':' INT ']') element)*
+    element     ::= boolean ('[*' INT (':' INT)? ']')?
+    boolean     ::= bool_or
+    bool_or     ::= bool_and ('|' bool_and)*
+    bool_and    ::= bool_not ('&' bool_not)*
+    bool_not    ::= '!' bool_not | IDENT | '0' | '1' | '(' boolean ')'
+
+Parenthesised groups are resolved by look-ahead: a '(' in property position
+is parsed as a boolean/sequence group when it contains no property-level
+operator, and as a sub-property otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ..ltl.ast import FALSE, TRUE, Formula, Not, atom, conj, disj
+from .properties import (
+    Property,
+    always,
+    implication,
+    non_overlapping_implication,
+    s_eventually,
+)
+from .sequences import Sequence, SVAError, seq, union
+
+__all__ = ["parse_sva"]
+
+_TOKEN = re.compile(
+    r"\s*(?:(?P<impl>\|->|\|=>)"
+    r"|(?P<delay>##)"
+    r"|(?P<repeat>\[\*)"
+    r"|(?P<num>\d+)"
+    r"|(?P<ident>[A-Za-z_][A-Za-z0-9_\.]*)"
+    r"|(?P<op>[()\[\]:!&|]))"
+)
+
+_KEYWORDS = {"always", "not", "and", "or", "s_eventually"}
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    position = 0
+    while position < len(text):
+        if text[position].isspace():
+            position += 1
+            continue
+        match = _TOKEN.match(text, position)
+        if not match:
+            raise SVAError(f"unexpected character {text[position]!r} at offset {position}")
+        token = match.group().strip()
+        tokens.append(token)
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self._text = text
+        self._tokens = _tokenize(text)
+        self._position = 0
+
+    # -- token helpers ----------------------------------------------------------
+    def _peek(self, offset: int = 0) -> Optional[str]:
+        index = self._position + offset
+        return self._tokens[index] if index < len(self._tokens) else None
+
+    def _next(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise SVAError(f"unexpected end of input in {self._text!r}")
+        self._position += 1
+        return token
+
+    def _expect(self, token: str) -> None:
+        actual = self._next()
+        if actual != token:
+            raise SVAError(f"expected {token!r} but found {actual!r} in {self._text!r}")
+
+    def _accept(self, token: str) -> bool:
+        if self._peek() == token:
+            self._position += 1
+            return True
+        return False
+
+    # -- entry -------------------------------------------------------------------
+    def parse(self) -> Property:
+        result = self._property()
+        if self._peek() is not None:
+            raise SVAError(f"trailing input {self._peek()!r} in {self._text!r}")
+        return Property(result.formula, source=self._text.strip())
+
+    # -- property level -------------------------------------------------------------
+    def _property(self) -> Property:
+        return self._implication()
+
+    def _implication(self) -> Property:
+        checkpoint = self._position
+        if self._looks_like_sequence():
+            sequence = self._sequence()
+            if self._peek() in ("|->", "|=>"):
+                operator = self._next()
+                consequent = self._property()
+                if operator == "|->":
+                    return implication(sequence, consequent)
+                return non_overlapping_implication(sequence, consequent)
+            # Not an implication after all — fall through to the boolean layers.
+            self._position = checkpoint
+        return self._disjunction()
+
+    def _disjunction(self) -> Property:
+        result = self._conjunction()
+        while self._peek() == "or":
+            self._next()
+            result = result | self._conjunction()
+        return result
+
+    def _conjunction(self) -> Property:
+        result = self._unary()
+        while self._peek() == "and":
+            self._next()
+            result = result & self._unary()
+        return result
+
+    def _unary(self) -> Property:
+        token = self._peek()
+        if token == "not":
+            self._next()
+            return ~self._unary()
+        if token == "always":
+            self._next()
+            return always(self._unary())
+        if token == "s_eventually":
+            self._next()
+            return s_eventually(self._unary())
+        return self._primary()
+
+    def _primary(self) -> Property:
+        if self._peek() == "(" and self._group_is_property():
+            self._expect("(")
+            result = self._property()
+            self._expect(")")
+            return result
+        return Property(self._sequence().match_formula())
+
+    # -- look-ahead helpers ------------------------------------------------------------
+    def _looks_like_sequence(self) -> bool:
+        token = self._peek()
+        if token is None or token in _KEYWORDS:
+            return False
+        if token == "(" and self._group_is_property():
+            return False
+        return True
+
+    def _group_is_property(self) -> bool:
+        """True when the parenthesised group starting here contains property syntax."""
+        depth = 0
+        index = self._position
+        while index < len(self._tokens):
+            token = self._tokens[index]
+            if token == "(":
+                depth += 1
+            elif token == ")":
+                depth -= 1
+                if depth == 0:
+                    return False
+            elif depth == 1 and token in ("|->", "|=>") or token in _KEYWORDS:
+                return True
+            index += 1
+        raise SVAError(f"unbalanced parentheses in {self._text!r}")
+
+    # -- sequence level ----------------------------------------------------------------
+    def _sequence(self) -> Sequence:
+        result = self._element()
+        while self._peek() == "##":
+            self._next()
+            if self._accept("["):
+                low = int(self._next())
+                self._expect(":")
+                high = int(self._next())
+                self._expect("]")
+                result = result.then_range(self._element(), low, high)
+            else:
+                gap = int(self._next())
+                result = result.then(self._element(), gap)
+        return result
+
+    def _element(self) -> Sequence:
+        element = seq(self._boolean())
+        if self._peek() == "[*":
+            self._next()
+            low = int(self._next())
+            high: Optional[int] = None
+            if self._accept(":"):
+                high = int(self._next())
+            self._expect("]")
+            element = element.repeated(low, high)
+        return element
+
+    # -- boolean level -------------------------------------------------------------------
+    def _boolean(self) -> Formula:
+        return self._bool_or()
+
+    def _bool_or(self) -> Formula:
+        result = self._bool_and()
+        while self._peek() == "|":
+            self._next()
+            result = disj(result, self._bool_and())
+        return result
+
+    def _bool_and(self) -> Formula:
+        result = self._bool_not()
+        while self._peek() == "&":
+            self._next()
+            result = conj(result, self._bool_not())
+        return result
+
+    def _bool_not(self) -> Formula:
+        token = self._peek()
+        if token == "!":
+            self._next()
+            return Not(self._bool_not())
+        if token == "(":
+            self._next()
+            inner = self._bool_or()
+            self._expect(")")
+            return inner
+        if token == "1":
+            self._next()
+            return TRUE
+        if token == "0":
+            self._next()
+            return FALSE
+        if token is None or not re.match(r"[A-Za-z_]", token):
+            raise SVAError(f"expected a signal name but found {token!r} in {self._text!r}")
+        return atom(self._next())
+
+
+def parse_sva(text: str) -> Property:
+    """Parse an SVA property string into a :class:`~repro.sva.properties.Property`."""
+    if not text or not text.strip():
+        raise SVAError("empty SVA property")
+    return _Parser(text).parse()

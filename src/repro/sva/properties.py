@@ -1,0 +1,86 @@
+"""SVA properties over bounded sequences.
+
+A :class:`Property` is a thin wrapper around the LTL formula it desugars to.
+Keeping the wrapper (rather than returning bare formulas) preserves the
+source-level shape for reporting and lets the combinators type-check their
+operands (sequences vs. properties vs. booleans).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..ltl.ast import Formula, G, F, Not, atom, conj, disj, is_boolean
+from .sequences import Sequence, SVAError
+
+__all__ = [
+    "Property",
+    "always",
+    "s_eventually",
+    "implication",
+    "non_overlapping_implication",
+]
+
+PropertyLike = Union["Property", Sequence, Formula, str]
+
+
+def _as_property_formula(value: PropertyLike) -> Formula:
+    """Desugar any property-position operand into an LTL formula."""
+    if isinstance(value, Property):
+        return value.formula
+    if isinstance(value, Sequence):
+        return value.match_formula()
+    if isinstance(value, str):
+        return atom(value)
+    if isinstance(value, Formula):
+        return value
+    raise SVAError(f"cannot use {value!r} in property position")
+
+
+@dataclass(frozen=True)
+class Property:
+    """A desugared SVA property."""
+
+    formula: Formula
+    source: str = ""
+
+    def __invert__(self) -> "Property":
+        return Property(Not(self.formula), f"not ({self.source})" if self.source else "")
+
+    def __and__(self, other: PropertyLike) -> "Property":
+        return Property(conj(self.formula, _as_property_formula(other)))
+
+    def __or__(self, other: PropertyLike) -> "Property":
+        return Property(disj(self.formula, _as_property_formula(other)))
+
+    def to_ltl(self) -> Formula:
+        """The LTL formula this property denotes."""
+        return self.formula
+
+    def __str__(self) -> str:
+        return self.source or str(self.formula)
+
+
+def implication(antecedent: Sequence, consequent: PropertyLike) -> Property:
+    """Overlapping suffix implication ``antecedent |-> consequent``."""
+    if not isinstance(antecedent, Sequence):
+        raise SVAError("the antecedent of |-> must be a sequence")
+    return Property(antecedent.ends_with(_as_property_formula(consequent), overlap=True))
+
+
+def non_overlapping_implication(antecedent: Sequence, consequent: PropertyLike) -> Property:
+    """Non-overlapping suffix implication ``antecedent |=> consequent``."""
+    if not isinstance(antecedent, Sequence):
+        raise SVAError("the antecedent of |=> must be a sequence")
+    return Property(antecedent.ends_with(_as_property_formula(consequent), overlap=False))
+
+
+def always(operand: PropertyLike) -> Property:
+    """``always p`` — the property holds from every cycle."""
+    return Property(G(_as_property_formula(operand)))
+
+
+def s_eventually(operand: PropertyLike) -> Property:
+    """``s_eventually p`` — the strong eventually directive."""
+    return Property(F(_as_property_formula(operand)))

@@ -1,0 +1,183 @@
+"""Bounded SVA sequences and their LTL expansions.
+
+A :class:`Sequence` denotes a finite set of *linear forms*.  A linear form is
+a tuple of boolean formulas, one per consecutive clock cycle; the sequence
+matches a run at position ``i`` when some linear form ``(b0, …, bk)`` has
+every ``bj`` true at position ``i + j``.  Because the supported operators are
+all bounded (fixed or ranged delays, fixed or ranged repetition counts), the
+set of linear forms is finite and the LTL translation is exact:
+
+    match(seq) = ⋁ over linear forms (b0 ∧ X b1 ∧ … ∧ X^k bk)
+
+The boolean cycle formulas are ordinary :class:`~repro.ltl.ast.Formula`
+objects restricted to boolean connectives, so anything the LTL layer offers
+(printer, rewriting, alphabet computation) applies unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence as Seq, Tuple, Union
+
+from ..ltl.ast import Formula, TRUE, Xn, atom, conj, disj, is_boolean
+
+__all__ = [
+    "SVAError",
+    "Sequence",
+    "seq",
+    "delay",
+    "concat",
+    "repeat",
+    "first_match_length",
+]
+
+BoolLike = Union[Formula, str]
+
+
+class SVAError(ValueError):
+    """Raised for malformed sequences (unbounded constructs, bad ranges)."""
+
+
+def _as_boolean(value: BoolLike) -> Formula:
+    formula = atom(value) if isinstance(value, str) else value
+    if not is_boolean(formula):
+        raise SVAError(f"sequence elements must be boolean formulas, got {formula}")
+    return formula
+
+
+@dataclass(frozen=True)
+class Sequence:
+    """A bounded SVA sequence as a finite union of linear forms."""
+
+    forms: Tuple[Tuple[Formula, ...], ...]
+
+    def __post_init__(self) -> None:
+        if not self.forms:
+            raise SVAError("a sequence must have at least one linear form")
+        if any(not form for form in self.forms):
+            raise SVAError("linear forms must span at least one cycle")
+
+    # -- structure ------------------------------------------------------------
+    def lengths(self) -> Tuple[int, ...]:
+        """Distinct match lengths (in cycles), ascending."""
+        return tuple(sorted({len(form) for form in self.forms}))
+
+    def form_count(self) -> int:
+        return len(self.forms)
+
+    # -- composition ----------------------------------------------------------
+    def then(self, other: "Sequence", gap: int = 1) -> "Sequence":
+        """Concatenation ``self ##gap other``.
+
+        ``gap = 1`` starts ``other`` the cycle after ``self`` ends (the SVA
+        default); larger gaps insert idle cycles; ``gap = 0`` is *fusion*: the
+        last cycle of ``self`` and the first cycle of ``other`` coincide.
+        """
+        if gap < 0:
+            raise SVAError("cycle delay must be non-negative")
+        combined: List[Tuple[Formula, ...]] = []
+        for left in self.forms:
+            for right in other.forms:
+                if gap == 0:
+                    fused = left[:-1] + (conj(left[-1], right[0]),) + right[1:]
+                    combined.append(fused)
+                else:
+                    padding = (TRUE,) * (gap - 1)
+                    combined.append(left + padding + right)
+        return Sequence(tuple(combined))
+
+    def then_range(self, other: "Sequence", low: int, high: int) -> "Sequence":
+        """Ranged concatenation ``self ##[low:high] other``."""
+        if low > high:
+            raise SVAError(f"empty delay range [{low}:{high}]")
+        variants = [self.then(other, gap) for gap in range(low, high + 1)]
+        return union(*variants)
+
+    def repeated(self, low: int, high: int | None = None) -> "Sequence":
+        """Consecutive repetition ``[*low]`` or ``[*low:high]``."""
+        high = low if high is None else high
+        if low < 1:
+            raise SVAError("repetition count must be at least 1 (empty matches unsupported)")
+        if low > high:
+            raise SVAError(f"empty repetition range [{low}:{high}]")
+        variants: List[Sequence] = []
+        for count in range(low, high + 1):
+            result = self
+            for _ in range(count - 1):
+                result = result.then(self, 1)
+            variants.append(result)
+        return union(*variants)
+
+    # -- translation ------------------------------------------------------------
+    def match_formula(self) -> Formula:
+        """LTL formula true exactly where the sequence matches."""
+        return disj(*(self._form_formula(form) for form in self.forms))
+
+    @staticmethod
+    def _form_formula(form: Tuple[Formula, ...]) -> Formula:
+        return conj(*(Xn(cycle, offset) for offset, cycle in enumerate(form)))
+
+    def ends_with(self, consequent: Formula, *, overlap: bool) -> Formula:
+        """``self |-> consequent`` (overlap) or ``self |=> consequent``.
+
+        For every linear form, a match forces the consequent at the cycle the
+        match ends (overlapping) or the following cycle (non-overlapping).
+        """
+        obligations = []
+        for form in self.forms:
+            end = len(form) - 1 if overlap else len(form)
+            obligations.append(self._form_formula(form) >> Xn(consequent, end))
+        return conj(*obligations)
+
+    # -- operator sugar ------------------------------------------------------------
+    def __rshift__(self, gap_and_other: Tuple[int, "Sequence"]) -> "Sequence":
+        gap, other = gap_and_other
+        return self.then(other, gap)
+
+
+def seq(*cycles: BoolLike) -> Sequence:
+    """A single linear form: one boolean expression per consecutive cycle."""
+    if not cycles:
+        raise SVAError("seq() needs at least one cycle expression")
+    return Sequence((tuple(_as_boolean(cycle) for cycle in cycles),))
+
+
+def delay(count: int) -> Sequence:
+    """``##count`` written as a standalone sequence of idle cycles."""
+    if count < 1:
+        raise SVAError("a standalone delay must cover at least one cycle")
+    return Sequence(((TRUE,) * count,))
+
+
+def concat(*sequences: Sequence, gap: int = 1) -> Sequence:
+    """Concatenate several sequences with a uniform gap."""
+    if not sequences:
+        raise SVAError("concat() needs at least one sequence")
+    result = sequences[0]
+    for nxt in sequences[1:]:
+        result = result.then(nxt, gap)
+    return result
+
+
+def union(*sequences: Sequence) -> Sequence:
+    """Alternative match (``or`` on sequences)."""
+    if not sequences:
+        raise SVAError("union() needs at least one sequence")
+    forms: List[Tuple[Formula, ...]] = []
+    for sequence in sequences:
+        forms.extend(sequence.forms)
+    return Sequence(tuple(dict.fromkeys(forms)))
+
+
+def repeat(sequence: Sequence, low: int, high: int | None = None) -> Sequence:
+    """Functional form of :meth:`Sequence.repeated`."""
+    return sequence.repeated(low, high)
+
+
+def first_match_length(sequence: Sequence) -> int:
+    """The shortest number of cycles over which the sequence can match."""
+    return min(len(form) for form in sequence.forms)
+
+
+# union is part of the public surface as well (declared after definition).
+__all__.append("union")

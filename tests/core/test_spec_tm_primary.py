@@ -1,0 +1,133 @@
+"""Tests for the specification container, the T_M construction and Theorem 1."""
+
+import pytest
+
+from repro.core import (
+    CoverageProblem,
+    SpecificationError,
+    build_tm,
+    build_tm_for_modules,
+    boolexpr_to_formula,
+    is_covered_with,
+    primary_coverage_check,
+)
+from repro.designs import (
+    build_cache_logic,
+    build_mal,
+    build_mal_with_gap,
+    build_masking_glue_fig2,
+    build_simple_latch,
+    expected_gap_property,
+    expected_tm_shape,
+)
+from repro.logic.boolexpr import and_, not_, or_, var
+from repro.ltl import equivalent, evaluate, parse
+from repro.mc import check
+from repro.rtl import Module
+
+
+class TestCoverageProblem:
+    def test_alphabets(self, mal_covered_problem):
+        problem = mal_covered_problem
+        assert problem.apa == frozenset({"wait", "r1", "r2", "d1", "d2"})
+        assert problem.apa <= problem.apr
+        assert "hit" in problem.apr
+        # Internal pending bits are not part of APR.
+        assert "p1" in problem.internal_signals
+
+    def test_assumption1_validation(self):
+        problem = CoverageProblem("bad")
+        problem.add_architectural_property(parse("G(secret -> F out)"))
+        problem.add_rtl_property(parse("G(a -> X out)"))
+        module = Module("m")
+        module.add_input("a")
+        module.add_output("out")
+        module.add_assign("out", var("a"))
+        problem.add_concrete_module(module)
+        with pytest.raises(SpecificationError):
+            problem.validate()
+        problem.validate(require_assumption1=False)
+
+    def test_validation_requires_architectural_intent(self):
+        problem = CoverageProblem("empty")
+        with pytest.raises(SpecificationError):
+            problem.validate()
+
+    def test_composed_module_requires_concrete_modules(self):
+        problem = CoverageProblem("no-rtl")
+        problem.add_architectural_property(parse("G p"))
+        problem.add_rtl_property(parse("G p"))
+        with pytest.raises(SpecificationError):
+            problem.composed_module()
+
+    def test_counts_and_summary(self, mal_covered_problem):
+        assert mal_covered_problem.rtl_property_count == 4  # 3 arbiter + 1 assumption
+        assert "CoverageProblem" in mal_covered_problem.summary()
+
+
+class TestTM:
+    def test_boolexpr_to_formula(self):
+        expr = or_(and_(var("a"), not_(var("b"))), var("c"))
+        formula = boolexpr_to_formula(expr)
+        assert equivalent(formula, parse("(a & !b) | c"))
+
+    def test_simple_latch_tm_matches_example3(self, simple_latch):
+        result = build_tm(simple_latch)
+        assert not result.combinational
+        assert result.fsm is not None and result.fsm.state_count() == 2
+        assert equivalent(result.formula, expected_tm_shape())
+
+    def test_combinational_tm_is_g_of_relation(self):
+        glue = build_masking_glue_fig2()
+        result = build_tm(glue)
+        assert result.combinational
+        assert equivalent(
+            result.formula,
+            parse("G(g1 <-> (n1 & !busy)) & G(g2 <-> (n2 & !busy))"),
+        )
+
+    def test_tm_exactly_characterises_the_module_runs(self, simple_latch):
+        # Soundness: every run of the module satisfies T_M.
+        result = build_tm(simple_latch)
+        assert check(simple_latch, result.formula).holds
+        # Exactness: T_M forbids behaviours the module cannot produce.
+        bogus = parse("!c & X c & !(a & b)")  # c rises without a & b
+        from repro.ltl import is_satisfiable, conj
+
+        assert not is_satisfiable(conj(result.formula, bogus))
+
+    def test_tm_for_modules_conjunction(self):
+        formula, results, elapsed = build_tm_for_modules(
+            [build_masking_glue_fig2(), build_cache_logic()]
+        )
+        assert len(results) == 2
+        assert elapsed >= 0
+        from repro.ltl import conjuncts
+
+        assert len(conjuncts(formula)) >= 2
+
+
+class TestPrimaryCoverage:
+    def test_mal_fig2_is_covered(self, mal_covered_problem):
+        result = primary_coverage_check(mal_covered_problem)
+        assert result.covered
+        assert result.witness is None
+        assert result.elapsed_seconds > 0
+
+    def test_mal_fig4_is_not_covered(self, mal_gap_problem):
+        result = primary_coverage_check(mal_gap_problem)
+        assert not result.covered
+        assert result.witness is not None
+        # The witness satisfies every RTL property but violates the intent.
+        for formula in mal_gap_problem.all_rtl_formulas():
+            assert evaluate(formula, result.witness)
+        assert not evaluate(mal_gap_problem.architectural_conjunction(), result.witness)
+
+    def test_expected_gap_property_closes_the_fig4_gap(self, mal_gap_problem):
+        assert is_covered_with(mal_gap_problem, [expected_gap_property()])
+
+    def test_architectural_property_itself_closes_the_gap(self, mal_gap_problem):
+        assert is_covered_with(mal_gap_problem, [mal_gap_problem.architectural[0]])
+
+    def test_unrelated_property_does_not_close_the_gap(self, mal_gap_problem):
+        assert not is_covered_with(mal_gap_problem, [parse("G(d2 -> hit)")])

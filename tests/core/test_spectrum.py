@@ -1,0 +1,108 @@
+"""Tests for the spectrum baselines: pure intent coverage and full model checking.
+
+The paper's title question — *what lies between design intent coverage and
+model checking?* — is answered by its motivating example: the Figure-2
+decomposition cannot be proved by property-only coverage, is proved once the
+glue logic is admitted, and the verdict agrees with model checking the full
+RTL.  These tests pin that three-way contrast.
+"""
+
+import pytest
+
+from repro.core.spectrum import (
+    compare_spectrum,
+    full_model_checking,
+    pure_intent_coverage,
+)
+from repro.core.primary import primary_coverage_check
+from repro.core.spec import CoverageProblem
+from repro.designs.mal import (
+    build_full_mal_fig2,
+    build_full_mal_fig4,
+    build_mal,
+    build_mal_with_gap,
+)
+from repro.ltl.parser import parse
+from repro.ltl.traces import evaluate
+
+
+@pytest.fixture(scope="module")
+def fig2_problem():
+    return build_mal()
+
+
+@pytest.fixture(scope="module")
+def fig4_problem():
+    return build_mal_with_gap()
+
+
+class TestPureIntentCoverage:
+    def test_fig2_not_provable_without_the_glue(self, fig2_problem):
+        """The paper's motivation: the ICCAD-2004 flow misses glue-dependent proofs."""
+        result = pure_intent_coverage(fig2_problem)
+        assert not result.covered
+        assert result.witness is not None
+
+    def test_pure_witness_satisfies_rtl_but_refutes_intent(self, fig2_problem):
+        result = pure_intent_coverage(fig2_problem)
+        intent = fig2_problem.architectural_conjunction()
+        assert not evaluate(intent, result.witness)
+        for rtl_property in fig2_problem.all_rtl_formulas():
+            assert evaluate(rtl_property, result.witness)
+
+    def test_property_only_problem_can_be_covered(self):
+        """When the decomposition does not need RTL blocks, pure coverage proves it."""
+        problem = CoverageProblem("property-only")
+        problem.add_architectural_property(parse("G(req -> F gnt)"))
+        problem.add_rtl_property(parse("G(req -> X gnt)"))
+        assert pure_intent_coverage(problem).covered
+
+    def test_property_only_gap_detected(self):
+        problem = CoverageProblem("property-only gap")
+        problem.add_architectural_property(parse("G(req -> F gnt)"))
+        problem.add_rtl_property(parse("G(req -> F ack)"))
+        result = pure_intent_coverage(problem)
+        assert not result.covered
+
+
+class TestFullModelChecking:
+    def test_intent_holds_on_full_fig2(self, fig2_problem):
+        result = full_model_checking(fig2_problem, build_full_mal_fig2())
+        assert result.holds
+
+    def test_intent_fails_on_full_fig4(self, fig4_problem):
+        result = full_model_checking(fig4_problem, build_full_mal_fig4())
+        assert not result.holds
+        assert result.counterexample is not None
+        assert not evaluate(fig4_problem.architectural_conjunction(), result.counterexample)
+
+    def test_explicit_assumptions_override_problem_assumptions(self, fig2_problem):
+        # An absurd assumption (no request ever hits the cache) vacuously breaks
+        # the strong-until obligation; the property then fails.
+        result = full_model_checking(
+            fig2_problem, build_full_mal_fig2(), assumptions=[parse("G !hit"), parse("F r1 & F r2")]
+        )
+        assert not result.holds
+
+
+class TestSpectrumComparison:
+    def test_fig2_three_way_contrast(self, fig2_problem):
+        comparison = compare_spectrum(fig2_problem, build_full_mal_fig2())
+        assert not comparison.pure.covered
+        assert comparison.hybrid.covered
+        assert comparison.full is not None and comparison.full.holds
+        assert len(comparison.rows()) == 3
+        assert "Spectrum comparison" in comparison.describe()
+
+    def test_fig4_all_methods_agree_on_the_gap(self, fig4_problem):
+        comparison = compare_spectrum(fig4_problem, build_full_mal_fig4())
+        assert not comparison.pure.covered
+        assert not comparison.hybrid.covered
+        assert comparison.full is not None and not comparison.full.holds
+
+    def test_hybrid_verdict_matches_primary_check(self, fig2_problem):
+        comparison = compare_spectrum(fig2_problem)
+        reference = primary_coverage_check(fig2_problem)
+        assert comparison.hybrid.covered == reference.covered
+        assert comparison.full is None
+        assert len(comparison.rows()) == 2

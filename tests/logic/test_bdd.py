@@ -1,0 +1,117 @@
+"""Unit tests for the BDD manager."""
+
+import pytest
+
+from repro.logic import BDDError, BDDManager
+from repro.logic.boolexpr import and_, iff, not_, or_, var, xor
+from repro.logic.cube import Cube
+
+
+@pytest.fixture()
+def manager():
+    return BDDManager(["a", "b", "c"])
+
+
+class TestBasics:
+    def test_constants(self, manager):
+        assert manager.true().is_true()
+        assert manager.false().is_false()
+        assert not manager.var("a").is_true()
+
+    def test_canonicity(self, manager):
+        a, b = manager.var("a"), manager.var("b")
+        left = (a & b) | (a & ~b)
+        assert left.equivalent(a)
+        assert left.root == a.root
+
+    def test_de_morgan(self, manager):
+        a, b = manager.var("a"), manager.var("b")
+        assert (~(a & b)).equivalent(~a | ~b)
+
+    def test_xor_and_iff(self, manager):
+        a, b = manager.var("a"), manager.var("b")
+        assert (a ^ b).equivalent(~(a.iff(b)))
+
+    def test_mixing_managers_raises(self, manager):
+        other = BDDManager(["a"])
+        with pytest.raises(BDDError):
+            manager.var("a") & other.var("a")
+
+    def test_from_expr(self, manager):
+        expr = or_(and_(var("a"), var("b")), not_(var("c")))
+        node = manager.from_expr(expr)
+        assert node.evaluate({"a": True, "b": True, "c": True})
+        assert node.evaluate({"a": False, "b": False, "c": False})
+        assert not node.evaluate({"a": False, "b": True, "c": True})
+
+    def test_from_cube(self, manager):
+        node = manager.from_cube(Cube({"a": True, "b": False}))
+        assert node.evaluate({"a": True, "b": False})
+        assert not node.evaluate({"a": True, "b": True})
+
+
+class TestOperations:
+    def test_restrict(self, manager):
+        a, b = manager.var("a"), manager.var("b")
+        function = a & b
+        assert function.restrict({"a": True}).equivalent(b)
+        assert function.restrict({"a": False}).is_false()
+
+    def test_exists(self, manager):
+        a, b = manager.var("a"), manager.var("b")
+        assert (a & b).exists(["a"]).equivalent(b)
+        assert (a & ~a).exists(["a"]).is_false()
+
+    def test_forall(self, manager):
+        a, b = manager.var("a"), manager.var("b")
+        assert (a | b).forall(["a"]).equivalent(b)
+        assert (a | ~a).forall(["a"]).is_true()
+
+    def test_support(self, manager):
+        a, b = manager.var("a"), manager.var("b")
+        assert (a & b).support() == frozenset({"a", "b"})
+        assert ((a & b) | (a & ~b)).support() == frozenset({"a"})
+
+    def test_ite(self, manager):
+        a, b, c = manager.var("a"), manager.var("b"), manager.var("c")
+        assert a.ite(b, c).equivalent((a & b) | (~a & c))
+
+    def test_rename(self, manager):
+        manager.declare("d")
+        a, b = manager.var("a"), manager.var("b")
+        renamed = (a & b).rename({"a": "d"})
+        assert renamed.equivalent(manager.var("d") & b)
+
+    def test_count_solutions(self, manager):
+        a, b = manager.var("a"), manager.var("b")
+        assert (a | b).count_solutions(["a", "b"]) == 3
+        assert manager.true().count_solutions(["a", "b"]) == 4
+
+    def test_satisfying_cubes_are_disjoint_and_cover(self, manager):
+        a, b, c = manager.var("a"), manager.var("b"), manager.var("c")
+        function = (a & b) | c
+        cubes = list(function.satisfying_cubes())
+        # Each cube satisfies the function; together they cover all solutions.
+        solutions = set()
+        for cube in cubes:
+            for assignment in function.satisfying_assignments(["a", "b", "c"]):
+                if cube.satisfied_by(assignment):
+                    solutions.add(tuple(sorted(assignment.items())))
+        expected = {
+            tuple(sorted(assignment.items()))
+            for assignment in function.satisfying_assignments(["a", "b", "c"])
+        }
+        assert solutions == expected
+
+    def test_to_expr_roundtrip(self, manager):
+        expr = or_(and_(var("a"), not_(var("b"))), var("c"))
+        node = manager.from_expr(expr)
+        back = manager.from_expr(node.to_expr())
+        assert node.equivalent(back)
+
+    def test_node_count_grows(self):
+        manager = BDDManager()
+        before = manager.node_count()
+        function = manager.from_expr(and_(var("x"), var("y"), var("z")))
+        assert manager.node_count() > before
+        assert not function.is_false()

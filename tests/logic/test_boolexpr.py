@@ -1,0 +1,154 @@
+"""Unit tests for the boolean expression layer."""
+
+import pytest
+
+from repro.logic import (
+    FALSE,
+    TRUE,
+    and_,
+    const,
+    expr_equivalent,
+    iff,
+    implies,
+    is_contradiction,
+    is_tautology,
+    minterms,
+    mux,
+)
+from repro.logic.boolexpr import (
+    AndExpr,
+    NotExpr,
+    OrExpr,
+    Var,
+    all_assignments,
+    not_,
+    or_,
+    truth_table,
+    var,
+    xor,
+)
+
+
+class TestConstruction:
+    def test_var_requires_name(self):
+        with pytest.raises(ValueError):
+            var("")
+
+    def test_and_constant_folding(self):
+        a = var("a")
+        assert and_(a, TRUE) is a
+        assert and_(a, FALSE) is FALSE
+        assert and_() is TRUE
+
+    def test_or_constant_folding(self):
+        a = var("a")
+        assert or_(a, FALSE) is a
+        assert or_(a, TRUE) is TRUE
+        assert or_() is FALSE
+
+    def test_and_flattens_and_deduplicates(self):
+        a, b = var("a"), var("b")
+        expr = and_(a, and_(b, a))
+        assert isinstance(expr, AndExpr)
+        assert len(expr.operands) == 2
+
+    def test_and_detects_complementary_literals(self):
+        a = var("a")
+        assert and_(a, not_(a)) is FALSE
+        assert or_(a, not_(a)) is TRUE
+
+    def test_double_negation_collapses(self):
+        a = var("a")
+        assert not_(not_(a)) is a
+
+    def test_xor_cancellation(self):
+        a, b = var("a"), var("b")
+        assert xor(a, a) is FALSE
+        assert xor(a, a, b) == b
+        assert xor(a, TRUE) == not_(a)
+
+    def test_operator_overloads(self):
+        a, b = var("a"), var("b")
+        assert (a & b) == and_(a, b)
+        assert (a | b) == or_(a, b)
+        assert (~a) == not_(a)
+        assert (a >> b) == implies(a, b)
+
+
+class TestEvaluation:
+    def test_evaluate_basic(self):
+        a, b = var("a"), var("b")
+        expr = (a & ~b) | (~a & b)
+        assert expr.evaluate({"a": True, "b": False})
+        assert not expr.evaluate({"a": True, "b": True})
+
+    def test_evaluate_missing_variable_raises(self):
+        with pytest.raises(KeyError):
+            var("a").evaluate({})
+
+    def test_mux(self):
+        s, t, f = var("s"), var("t"), var("f")
+        expr = mux(s, t, f)
+        assert expr.evaluate({"s": True, "t": True, "f": False})
+        assert not expr.evaluate({"s": False, "t": True, "f": False})
+
+    def test_iff(self):
+        a, b = var("a"), var("b")
+        expr = iff(a, b)
+        assert expr.evaluate({"a": True, "b": True})
+        assert not expr.evaluate({"a": True, "b": False})
+
+    def test_truth_table_size(self):
+        a, b, c = var("a"), var("b"), var("c")
+        table = truth_table((a & b) | c)
+        assert len(table) == 8
+
+    def test_all_assignments_count(self):
+        assert len(list(all_assignments(["x", "y", "z"]))) == 8
+        assert list(all_assignments([])) == [{}]
+
+
+class TestSemantics:
+    def test_equivalence_de_morgan(self):
+        a, b = var("a"), var("b")
+        assert expr_equivalent(not_(and_(a, b)), or_(not_(a), not_(b)))
+
+    def test_tautology_and_contradiction(self):
+        a = var("a")
+        assert is_tautology(or_(a, not_(a)))
+        assert is_contradiction(and_(a, not_(a)))
+        assert not is_tautology(a)
+
+    def test_minterms(self):
+        a, b = var("a"), var("b")
+        terms = list(minterms(and_(a, b)))
+        assert terms == [{"a": True, "b": True}]
+
+    def test_substitute(self):
+        a, b, c = var("a"), var("b"), var("c")
+        expr = and_(a, b).substitute({"a": c})
+        assert expr == and_(c, b)
+
+    def test_cofactor(self):
+        a, b = var("a"), var("b")
+        expr = and_(a, b)
+        assert expr.cofactor("a", True) == b
+        assert expr.cofactor("a", False) is FALSE
+
+    def test_simplify_constants(self):
+        a = var("a")
+        expr = AndExpr((a, TRUE))
+        assert expr.simplify() == a
+
+    def test_variables(self):
+        a, b = var("a"), var("b")
+        assert (a & b).variables() == frozenset({"a", "b"})
+        assert TRUE.variables() == frozenset()
+
+    def test_to_str_roundtrip_through_hdl_parser(self):
+        from repro.rtl.hdl import parse_expr
+
+        a, b, c = var("a"), var("b"), var("c")
+        expr = or_(and_(a, not_(b)), c)
+        reparsed = parse_expr(expr.to_str())
+        assert expr_equivalent(expr, reparsed)

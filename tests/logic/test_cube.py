@@ -1,0 +1,112 @@
+"""Unit tests for cubes, covers and the Quine-McCluskey minimiser."""
+
+import pytest
+
+from repro.logic import Cover, Cube, cover_from_expr, expr_equivalent, minimize_cover
+from repro.logic.boolexpr import and_, not_, or_, var
+
+
+class TestCube:
+    def test_construction_sorts_literals(self):
+        cube = Cube({"b": True, "a": False})
+        assert cube.literals == (("a", False), ("b", True))
+
+    def test_value_and_variables(self):
+        cube = Cube({"a": True, "b": False})
+        assert cube.value("a") is True
+        assert cube.value("missing") is None
+        assert cube.variables() == frozenset({"a", "b"})
+
+    def test_intersect_compatible(self):
+        left = Cube({"a": True})
+        right = Cube({"b": False})
+        merged = left.intersect(right)
+        assert merged == Cube({"a": True, "b": False})
+
+    def test_intersect_conflicting_returns_none(self):
+        assert Cube({"a": True}).intersect(Cube({"a": False})) is None
+
+    def test_contains(self):
+        general = Cube({"a": True})
+        specific = Cube({"a": True, "b": False})
+        assert general.contains(specific)
+        assert not specific.contains(general)
+        assert Cube().contains(specific)
+
+    def test_satisfied_by(self):
+        cube = Cube({"a": True, "b": False})
+        assert cube.satisfied_by({"a": True, "b": False, "c": True})
+        assert not cube.satisfied_by({"a": True, "b": True})
+
+    def test_drop_and_restrict(self):
+        cube = Cube({"a": True, "b": False, "c": True})
+        assert cube.drop(["b"]) == Cube({"a": True, "c": True})
+        assert cube.restrict(["b"]) == Cube({"b": False})
+
+    def test_with_literal(self):
+        cube = Cube({"a": True})
+        assert cube.with_literal("b", False) == Cube({"a": True, "b": False})
+        assert cube.with_literal("a", False) is None
+
+    def test_to_expr_and_str(self):
+        cube = Cube({"a": True, "b": False})
+        assert cube.to_expr() == and_(var("a"), not_(var("b")))
+        assert cube.to_str() == "a & !b"
+        assert Cube().to_str() == "1"
+
+
+class TestCover:
+    def test_deduplication(self):
+        cover = Cover([Cube({"a": True}), Cube({"a": True})])
+        assert len(cover) == 1
+
+    def test_is_true_false(self):
+        assert Cover([]).is_false()
+        assert Cover([Cube()]).is_true()
+
+    def test_satisfied_by(self):
+        cover = Cover([Cube({"a": True}), Cube({"b": True})])
+        assert cover.satisfied_by({"a": False, "b": True})
+        assert not cover.satisfied_by({"a": False, "b": False})
+
+    def test_to_expr_equivalence(self):
+        a, b = var("a"), var("b")
+        cover = Cover([Cube({"a": True}), Cube({"b": True})])
+        assert expr_equivalent(cover.to_expr(), or_(a, b))
+
+
+class TestMinimize:
+    def test_cover_from_expr(self):
+        a, b = var("a"), var("b")
+        cover = cover_from_expr(or_(a, b))
+        assert len(cover) == 3  # three satisfying minterms over {a, b}
+
+    def test_minimize_or(self):
+        a, b = var("a"), var("b")
+        cover = cover_from_expr(or_(a, b))
+        minimal = minimize_cover(cover, ["a", "b"])
+        assert expr_equivalent(minimal.to_expr(), or_(a, b))
+        assert len(minimal) == 2
+        assert all(len(cube) == 1 for cube in minimal)
+
+    def test_minimize_tautology(self):
+        a = var("a")
+        cover = cover_from_expr(or_(a, not_(a)))
+        minimal = minimize_cover(cover, ["a"])
+        assert minimal.is_true()
+
+    def test_minimize_empty(self):
+        assert minimize_cover(Cover([])).is_false()
+
+    def test_minimize_xor_keeps_two_cubes(self):
+        a, b = var("a"), var("b")
+        expr = or_(and_(a, not_(b)), and_(not_(a), b))
+        minimal = minimize_cover(cover_from_expr(expr), ["a", "b"])
+        assert expr_equivalent(minimal.to_expr(), expr)
+        assert len(minimal) == 2
+
+    def test_minimize_preserves_semantics_three_vars(self):
+        a, b, c = var("a"), var("b"), var("c")
+        expr = or_(and_(a, b), and_(a, not_(b), c), and_(not_(a), not_(c)))
+        minimal = minimize_cover(cover_from_expr(expr), ["a", "b", "c"])
+        assert expr_equivalent(minimal.to_expr(), expr)

@@ -1,0 +1,109 @@
+"""Property-based tests (hypothesis) for the boolean layer.
+
+These check the core invariants that everything above relies on:
+
+* BDDs are canonical: equivalent expressions get identical roots,
+* QM minimisation preserves semantics,
+* cube algebra (intersection, containment) agrees with evaluation.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.logic import BDDManager, Cube, cover_from_expr, expr_equivalent, minimize_cover
+from repro.logic.boolexpr import (
+    BoolExpr,
+    FALSE,
+    TRUE,
+    all_assignments,
+    and_,
+    not_,
+    or_,
+    var,
+    xor,
+)
+
+_NAMES = ["a", "b", "c", "d"]
+
+
+def exprs(max_depth: int = 3) -> st.SearchStrategy[BoolExpr]:
+    base = st.one_of(
+        st.sampled_from([TRUE, FALSE]),
+        st.sampled_from(_NAMES).map(var),
+    )
+
+    def extend(children: st.SearchStrategy[BoolExpr]) -> st.SearchStrategy[BoolExpr]:
+        return st.one_of(
+            children.map(not_),
+            st.tuples(children, children).map(lambda pair: and_(*pair)),
+            st.tuples(children, children).map(lambda pair: or_(*pair)),
+            st.tuples(children, children).map(lambda pair: xor(*pair)),
+        )
+
+    return st.recursive(base, extend, max_leaves=8)
+
+
+@settings(max_examples=60, deadline=None)
+@given(exprs())
+def test_bdd_agrees_with_direct_evaluation(expr):
+    manager = BDDManager(_NAMES)
+    node = manager.from_expr(expr)
+    for assignment in all_assignments(_NAMES):
+        assert node.evaluate(assignment) == expr.evaluate(assignment)
+
+
+@settings(max_examples=40, deadline=None)
+@given(exprs(), exprs())
+def test_bdd_canonicity(left, right):
+    manager = BDDManager(_NAMES)
+    left_node = manager.from_expr(left)
+    right_node = manager.from_expr(right)
+    assert (left_node.root == right_node.root) == expr_equivalent(left, right)
+
+
+@settings(max_examples=40, deadline=None)
+@given(exprs())
+def test_minimize_cover_preserves_semantics(expr):
+    cover = cover_from_expr(expr, _NAMES)
+    minimal = minimize_cover(cover, _NAMES)
+    for assignment in all_assignments(_NAMES):
+        assert minimal.satisfied_by(assignment) == expr.evaluate(assignment)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.dictionaries(st.sampled_from(_NAMES), st.booleans(), max_size=3),
+    st.dictionaries(st.sampled_from(_NAMES), st.booleans(), max_size=3),
+)
+def test_cube_intersection_agrees_with_evaluation(left_map, right_map):
+    left, right = Cube(left_map), Cube(right_map)
+    merged = left.intersect(right)
+    for assignment in all_assignments(_NAMES):
+        both = left.satisfied_by(assignment) and right.satisfied_by(assignment)
+        if merged is None:
+            assert not both
+        else:
+            assert merged.satisfied_by(assignment) == both
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.dictionaries(st.sampled_from(_NAMES), st.booleans(), max_size=3),
+    st.dictionaries(st.sampled_from(_NAMES), st.booleans(), max_size=3),
+)
+def test_cube_containment_is_semantic(general_map, specific_map):
+    general, specific = Cube(general_map), Cube(specific_map)
+    if general.contains(specific):
+        for assignment in all_assignments(_NAMES):
+            if specific.satisfied_by(assignment):
+                assert general.satisfied_by(assignment)
+
+
+@settings(max_examples=40, deadline=None)
+@given(exprs(), st.sampled_from(_NAMES))
+def test_bdd_quantification_shannon(expr, name):
+    manager = BDDManager(_NAMES)
+    node = manager.from_expr(expr)
+    positive = node.restrict({name: True})
+    negative = node.restrict({name: False})
+    assert node.exists([name]).equivalent(positive | negative)
+    assert node.forall([name]).equivalent(positive & negative)

@@ -1,0 +1,87 @@
+"""Tests for automata products and the co-safety monitors."""
+
+import pytest
+
+from repro.ltl import evaluate, is_satisfiable, lasso_to_trace, ltl_to_gba, parse
+from repro.ltl.ast import atoms_of
+from repro.ltl.monitor import cosafety_monitor_gba, monitor_or_tableau
+from repro.ltl.product import conjunction_to_gba, gba_product, join_labels, labels_consistent
+
+
+class TestLabelHelpers:
+    def test_labels_consistent(self):
+        assert labels_consistent([frozenset({("a", True)}), frozenset({("b", False)})])
+        assert not labels_consistent([frozenset({("a", True)}), frozenset({("a", False)})])
+        assert labels_consistent([])
+
+    def test_join_labels(self):
+        joined = join_labels([frozenset({("a", True)}), frozenset({("b", False)})])
+        assert joined == frozenset({("a", True), ("b", False)})
+
+
+class TestGBAProduct:
+    @pytest.mark.parametrize(
+        "left,right,expected_sat",
+        [
+            ("G F p", "G F !p", True),
+            ("G p", "F !p", False),
+            ("p U q", "G !q", False),
+            ("G(a -> X b)", "G(b -> X a)", True),
+            ("F p", "G(p -> q)", True),
+        ],
+    )
+    def test_product_language_is_intersection(self, left, right, expected_sat):
+        product = gba_product([ltl_to_gba(parse(left)), ltl_to_gba(parse(right))])
+        assert (not product.is_empty()) == expected_sat
+        assert expected_sat == is_satisfiable(parse(f"({left}) & ({right})"))
+
+    def test_empty_product_accepts_everything(self):
+        product = gba_product([])
+        assert not product.is_empty()
+
+    def test_single_component_returned_unchanged(self):
+        automaton = ltl_to_gba(parse("G p"))
+        assert gba_product([automaton]) is automaton
+
+    def test_conjunction_to_gba_witness(self):
+        formulas = [parse("G(a -> X b)"), parse("F a"), parse("G F !b")]
+        product = conjunction_to_gba(formulas)
+        assert not product.is_empty()
+
+    def test_product_acceptance_lifting(self):
+        # Both liveness obligations must be honoured in the product.
+        product = gba_product([ltl_to_gba(parse("G F p")), ltl_to_gba(parse("G F q"))])
+        assert len(product.acceptance) >= 2
+        assert not product.is_empty()
+
+
+class TestCosafetyMonitor:
+    def test_eventually_violation_monitor(self):
+        # F(r1 & X !n1): the negation of G(r1 -> X n1).
+        body = parse("r1 & X !n1")
+        monitor = cosafety_monitor_gba(body)
+        assert not monitor.is_empty()
+        assert monitor.acceptance  # visiting the sink is required
+
+    def test_dispatch_of_negated_invariant(self):
+        automaton = monitor_or_tableau(parse("!(G(r1 -> X n1))"))
+        # Must accept some word (the invariant is violable) ...
+        assert not automaton.is_empty()
+        # ... and the intersection with the invariant's own monitor is empty.
+        invariant = monitor_or_tableau(parse("G(r1 -> X n1)"))
+        assert gba_product([automaton, invariant]).is_empty()
+
+    @pytest.mark.parametrize(
+        "invariant",
+        ["G(r1 -> X n1)", "G(a <-> X b)", "G(!(x & y))", "G(a | b -> X(!a))"],
+    )
+    def test_cosafety_agrees_with_tableau(self, invariant):
+        negated = parse(f"!({invariant})")
+        monitor = monitor_or_tableau(negated)
+        tableau = ltl_to_gba(negated)
+        assert monitor.is_empty() == tableau.is_empty()
+        # Cross-check: a witness of the monitor violates the invariant.
+        lasso = monitor.accepting_lasso()
+        assert lasso is not None
+        trace = lasso_to_trace(monitor, lasso, sorted(atoms_of(negated)))
+        assert evaluate(negated, trace)

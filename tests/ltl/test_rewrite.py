@@ -1,0 +1,141 @@
+"""Tests for NNF conversion, simplification and instance substitution."""
+
+import pytest
+
+from repro.ltl import (
+    Atom,
+    FALSE,
+    Not,
+    TRUE,
+    atom_instances,
+    atoms_of,
+    conjuncts,
+    disjuncts,
+    equivalent,
+    formula_size,
+    nnf,
+    parse,
+    simplify,
+    substitute_atom_instance,
+    substitute_atoms,
+    temporal_depth,
+)
+from repro.ltl.ast import Always, And, Eventually, Next, Or, Release, Until
+from repro.ltl.rewrite import remove_derived_operators
+
+
+class TestNNF:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "!(p & q)",
+            "!(p | q)",
+            "!(p -> q)",
+            "!(p U q)",
+            "!(p R q)",
+            "!X p",
+            "!G p",
+            "!F p",
+            "!(p <-> q)",
+            "!(p W q)",
+            "G(!wait & r1 & X(r1 U r2) -> X(!d2 U d1))",
+        ],
+    )
+    def test_nnf_preserves_semantics(self, text):
+        formula = parse(text)
+        assert equivalent(formula, nnf(formula))
+
+    def test_nnf_pushes_negations_to_atoms(self):
+        converted = nnf(parse("!(p & X(q U r))"))
+        for sub in _negations(converted):
+            assert isinstance(sub.operand, Atom)
+
+    def test_nnf_core_operators_only(self):
+        converted = nnf(parse("G(a -> F b) & (c W d)"))
+        from repro.ltl.ast import Implies, Iff, WeakUntil, Eventually, Always, subformulas
+
+        for sub in subformulas(converted):
+            assert not isinstance(sub, (Implies, Iff, WeakUntil, Eventually, Always))
+
+
+def _negations(formula):
+    from repro.ltl.ast import subformulas
+
+    return [sub for sub in subformulas(formula) if isinstance(sub, Not)]
+
+
+class TestSimplify:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("p & true", "p"),
+            ("p & false", "false"),
+            ("p | true", "true"),
+            ("G true", "true"),
+            ("F false", "false"),
+            ("X true", "true"),
+            ("p U true", "true"),
+            ("false U p", "p"),
+            ("true U p", "F p"),
+            ("p & p", "p"),
+            ("p | !p", "true"),
+            ("p & !p", "false"),
+            ("G G p", "G p"),
+            ("F F p", "F p"),
+            ("true -> p", "p"),
+            ("p -> false", "!p"),
+            ("p <-> true", "p"),
+        ],
+    )
+    def test_rules(self, text, expected):
+        assert simplify(parse(text)) == parse(expected)
+
+    def test_simplify_is_sound(self):
+        formula = parse("G((p & true) -> F(q | false)) & (r U (s & s))")
+        assert equivalent(formula, simplify(formula))
+
+    def test_remove_derived_operators(self):
+        converted = remove_derived_operators(parse("G(a -> F b)"))
+        assert isinstance(converted, Release)
+        assert equivalent(converted, parse("G(a -> F b)"))
+
+
+class TestSubstitution:
+    def test_substitute_atoms(self):
+        formula = parse("G(a -> X a)")
+        replaced = substitute_atoms(formula, {"a": parse("b & c")})
+        assert replaced == parse("G((b & c) -> X (b & c))")
+
+    def test_atom_instances_paths_are_distinct(self):
+        formula = parse("G(a -> X a)")
+        instances = atom_instances(formula)
+        assert len(instances) == 2
+        assert instances[0][0] != instances[1][0]
+        assert all(name == "a" for _, name in instances)
+
+    def test_substitute_single_instance(self):
+        formula = parse("G(a -> X a)")
+        instances = atom_instances(formula)
+        # Replace only the second occurrence.
+        replaced = substitute_atom_instance(formula, instances[1][0], parse("a & b"))
+        assert replaced == parse("G(a -> X (a & b))")
+
+    def test_substitute_instance_invalid_path(self):
+        with pytest.raises(ValueError):
+            substitute_atom_instance(parse("a & b"), (5,), parse("c"))
+
+
+class TestStructure:
+    def test_conjuncts_and_disjuncts(self):
+        assert len(conjuncts(parse("a & b & c"))) == 3
+        assert len(disjuncts(parse("a | b | c"))) == 3
+        assert conjuncts(parse("a | b")) == (parse("a | b"),)
+
+    def test_atoms_of(self):
+        assert atoms_of(parse("G(a -> X b) U c")) == frozenset({"a", "b", "c"})
+
+    def test_formula_size_and_depth(self):
+        formula = parse("G(a -> X(b U c))")
+        assert formula_size(formula) == 7
+        assert temporal_depth(formula) == 3
+        assert temporal_depth(parse("a & b")) == 0

@@ -1,0 +1,110 @@
+"""Tests for LTL satisfiability, validity, implication and equivalence."""
+
+import pytest
+
+from repro.ltl import (
+    equivalent,
+    evaluate,
+    implies,
+    is_satisfiable,
+    is_valid,
+    parse,
+    satisfying_trace,
+    stronger_than,
+    strictly_stronger_than,
+)
+
+
+class TestSatisfiability:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "p",
+            "G F p",
+            "F G p",
+            "p U q",
+            "G(p -> X q)",
+            "G(!wait & r1 & X(r1 U r2) -> X(!d2 U d1))",
+            "!(G(!wait & r1 & X(r1 U r2) -> X(!d2 U d1)))",
+        ],
+    )
+    def test_satisfiable(self, text):
+        assert is_satisfiable(parse(text))
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "false",
+            "p & !p",
+            "G p & F !p",
+            "(p U q) & G !q",
+            "X p & X !p",
+            "G(p -> X p) & p & F !p",
+        ],
+    )
+    def test_unsatisfiable(self, text):
+        assert not is_satisfiable(parse(text))
+
+    def test_satisfying_trace_is_a_model(self):
+        formula = parse("!p & X p & X X G !p & G F q")
+        trace = satisfying_trace(formula)
+        assert trace is not None
+        assert evaluate(formula, trace)
+
+    def test_satisfying_trace_none_for_unsat(self):
+        assert satisfying_trace(parse("p & !p")) is None
+
+
+class TestValidity:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "p | !p",
+            "(p U q) -> F q",
+            "G p -> p",
+            "G p -> F p",
+            "(G p & G q) <-> G(p & q)",
+            "F(p | q) <-> (F p | F q)",
+            "(p W q) <-> ((p U q) | G p)",
+            "(p R q) <-> !( !p U !q )",
+            "X(p & q) <-> (X p & X q)",
+            "G(p -> q) -> (G p -> G q)",
+        ],
+    )
+    def test_valid(self, text):
+        assert is_valid(parse(text))
+
+    @pytest.mark.parametrize("text", ["F p -> G p", "p -> X p", "(p U q) -> (q U p)"])
+    def test_not_valid(self, text):
+        assert not is_valid(parse(text))
+
+
+class TestImplication:
+    def test_implies_basic(self):
+        assert implies(parse("G p"), parse("F p"))
+        assert not implies(parse("F p"), parse("G p"))
+
+    def test_strengthened_antecedent_weakens_implication(self):
+        stronger = parse("G(r2 -> F d2)")
+        weaker = parse("G(r2 & !hit -> F d2)")
+        assert implies(stronger, weaker)
+        assert not implies(weaker, stronger)
+
+    def test_paper_gap_property_is_weaker_than_intent(self):
+        intent = parse("G(!wait & r1 & X(r1 U r2) -> X(!d2 U d1))")
+        gap = parse("G(!wait & r1 & X(r1 U (r2 & !hit)) -> X(!d2 U d1))")
+        assert stronger_than(intent, gap)
+        assert strictly_stronger_than(intent, gap)
+        assert not stronger_than(gap, intent)
+
+    def test_equivalent(self):
+        assert equivalent(parse("!(p U q)"), parse("!p R !q"))
+        assert equivalent(parse("G G p"), parse("G p"))
+        assert not equivalent(parse("G p"), parse("F p"))
+
+    def test_conjunction_compositional_path(self):
+        # Exercises the conjunction-splitting fast path of is_satisfiable.
+        formula = parse("G(a -> X b) & G(b -> X c) & a & G !c")
+        assert not is_satisfiable(formula)
+        formula_sat = parse("G(a -> X b) & G(b -> X c) & a")
+        assert is_satisfiable(formula_sat)

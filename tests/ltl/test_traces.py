@@ -1,0 +1,119 @@
+"""Tests for lasso traces and direct LTL evaluation on them."""
+
+import pytest
+
+from repro.ltl import LassoTrace, evaluate, parse
+
+
+def lasso(stem, loop):
+    return LassoTrace(stem, loop)
+
+
+class TestLassoTrace:
+    def test_requires_nonempty_loop(self):
+        with pytest.raises(ValueError):
+            LassoTrace([{"p": True}], [])
+
+    def test_normalize_and_successor(self):
+        trace = lasso([{"p": True}], [{"p": False}, {"p": True}])
+        assert trace.normalize(0) == 0
+        assert trace.normalize(1) == 1
+        assert trace.normalize(3) == 1
+        assert trace.normalize(4) == 2
+        assert trace.successor(2) == 1  # wraps to the loop start
+
+    def test_value_defaults_false(self):
+        trace = lasso([], [{"p": True}])
+        assert trace.value("p", 0)
+        assert not trace.value("q", 0)
+
+    def test_from_states(self):
+        trace = LassoTrace.from_states([{"p": True}, {"p": False}, {"p": True}], loop_start=1)
+        assert len(trace.stem) == 1
+        assert len(trace.loop) == 2
+
+    def test_to_table(self):
+        trace = lasso([{"p": True, "q": False}], [{"p": False, "q": True}])
+        table = trace.to_table(3)
+        assert table["p"] == [True, False, False]
+        assert table["q"] == [False, True, True]
+
+
+class TestEvaluation:
+    def test_atom_and_boolean(self):
+        trace = lasso([{"p": True, "q": False}], [{"p": False, "q": True}])
+        assert evaluate(parse("p & !q"), trace)
+        assert not evaluate(parse("p & q"), trace)
+        assert evaluate(parse("p -> !q"), trace)
+        assert evaluate(parse("p <-> !q"), trace)
+
+    def test_next(self):
+        trace = lasso([{"p": False}], [{"p": True}])
+        assert evaluate(parse("X p"), trace)
+        assert evaluate(parse("X X p"), trace)
+        assert not evaluate(parse("p"), trace)
+
+    def test_globally_on_loop(self):
+        trace = lasso([{"p": False}], [{"p": True}])
+        assert not evaluate(parse("G p"), trace)
+        assert evaluate(parse("X G p"), trace)
+        assert evaluate(parse("F G p"), trace)
+
+    def test_eventually(self):
+        trace = lasso([{"p": False}, {"p": False}], [{"p": False}, {"p": True}])
+        assert evaluate(parse("F p"), trace)
+        assert evaluate(parse("G F p"), trace)
+        assert not evaluate(parse("F G p"), trace)
+
+    def test_strong_until(self):
+        trace = lasso([{"p": True, "q": False}, {"p": True, "q": False}], [{"q": True}])
+        assert evaluate(parse("p U q"), trace)
+        never_q = lasso([{"p": True}], [{"p": True}])
+        assert not evaluate(parse("p U q"), never_q)
+        assert evaluate(parse("p W q"), never_q)
+
+    def test_until_fails_when_p_drops(self):
+        trace = lasso([{"p": True}, {"p": False}, {"q": True}], [{"q": True}])
+        assert not evaluate(parse("p U q"), trace)
+
+    def test_release(self):
+        # q must hold until (and including) the point p holds.
+        trace = lasso([{"q": True}, {"q": True, "p": True}], [{}])
+        assert evaluate(parse("p R q"), trace)
+        forever_q = lasso([], [{"q": True}])
+        assert evaluate(parse("p R q"), forever_q)
+        broken = lasso([{"q": True}], [{"q": False}])
+        assert not evaluate(parse("p R q"), broken)
+
+    def test_release_until_duality(self):
+        trace = lasso([{"p": True}, {"q": True, "p": False}], [{"p": False, "q": False}])
+        left = evaluate(parse("!(p U q)"), trace)
+        right = evaluate(parse("!p R !q"), trace)
+        assert left == right
+
+    def test_paper_architectural_property_on_good_and_bad_runs(self):
+        prop = parse("G(!wait & r1 & X(r1 U r2) -> X(!d2 U d1))")
+        good = lasso(
+            [
+                {"r1": True},
+                {"r2": True, "g1": True},
+                {"d1": True},
+            ],
+            [{}],
+        )
+        assert evaluate(prop, good)
+        bad = lasso(
+            [
+                {"r1": True},
+                {"r2": True},
+                {"d2": True},
+                {"d1": True},
+            ],
+            [{}],
+        )
+        assert not evaluate(prop, bad)
+
+    def test_position_argument(self):
+        trace = lasso([{"p": False}, {"p": True}], [{"p": False}])
+        assert not evaluate(parse("p"), trace, 0)
+        assert evaluate(parse("p"), trace, 1)

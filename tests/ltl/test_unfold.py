@@ -1,0 +1,114 @@
+"""Tests for expansion laws, bounded unfolding and temporal terms."""
+
+import pytest
+
+from repro.ltl import (
+    LassoTrace,
+    TemporalTerm,
+    bounded_terms,
+    equivalent,
+    evaluate,
+    expand_once,
+    parse,
+    term_from_states,
+    term_from_trace,
+    unfold,
+    xnf,
+)
+from repro.logic import Cube
+
+
+class TestExpansion:
+    @pytest.mark.parametrize(
+        "text",
+        ["p U q", "p R q", "p W q", "G p", "F p"],
+    )
+    def test_expand_once_preserves_semantics(self, text):
+        formula = parse(text)
+        assert equivalent(formula, expand_once(formula))
+
+    def test_expand_once_leaves_others_alone(self):
+        formula = parse("p & X q")
+        assert expand_once(formula) == formula
+
+    @pytest.mark.parametrize("depth", [1, 2, 3])
+    @pytest.mark.parametrize("text", ["p U q", "G(a -> X b)", "F p", "G(a -> (b U c))"])
+    def test_unfold_preserves_semantics(self, text, depth):
+        formula = parse(text)
+        assert equivalent(formula, unfold(formula, depth))
+
+    def test_xnf_preserves_semantics(self):
+        for text in ["p U q", "G p", "(a U b) -> (c U d)", "F(a & (b U c))"]:
+            formula = parse(text)
+            assert equivalent(formula, xnf(formula))
+
+
+class TestTemporalTerm:
+    def test_literals_and_depth(self):
+        term = TemporalTerm([{"r1": True}, {"r2": True, "hit": False}])
+        assert term.depth() == 2
+        assert term.literal_count() == 3
+        assert (1, "hit", False) in term.literals()
+        assert term.signals() == frozenset({"r1", "r2", "hit"})
+
+    def test_to_formula(self):
+        term = TemporalTerm([{"r1": True}, {"hit": False}])
+        assert equivalent(term.to_formula(), parse("r1 & X !hit"))
+
+    def test_project_and_drop(self):
+        term = TemporalTerm([{"r1": True, "p1": True}, {"hit": False}])
+        assert term.project({"r1", "hit"}).literals() == ((0, "r1", True), (1, "hit", False))
+        assert term.drop({"p1"}).literals() == ((0, "r1", True), (1, "hit", False))
+
+    def test_strip_trailing_empty(self):
+        term = TemporalTerm([{"a": True}, {}, {}])
+        assert term.strip_trailing_empty().depth() == 1
+
+    def test_satisfied_by(self):
+        term = TemporalTerm([{"r1": True}, {"r2": True}])
+        trace = LassoTrace([{"r1": True}, {"r2": True}], [{}])
+        assert term.satisfied_by(trace)
+        assert not term.satisfied_by(LassoTrace([{"r1": True}], [{}]))
+
+    def test_subsumes(self):
+        general = TemporalTerm([{"r1": True}])
+        specific = TemporalTerm([{"r1": True}, {"r2": True}])
+        assert general.subsumes(specific)
+        assert not specific.subsumes(general)
+
+    def test_term_from_states_and_trace(self):
+        states = [{"a": True, "b": False}, {"a": False, "b": True}]
+        term = term_from_states(states, ["a"])
+        assert term.literals() == ((0, "a", True), (1, "a", False))
+        trace = LassoTrace(states, [{"a": True}])
+        traced = term_from_trace(trace, 3, ["a"])
+        assert traced.depth() == 3
+
+    def test_to_str(self):
+        term = TemporalTerm([{"r1": True}, {"hit": False, "r2": True}])
+        text = term.to_str()
+        assert "r1" in text and "X" in text and "!hit" in text
+
+
+class TestBoundedTerms:
+    def test_bounded_terms_of_until(self):
+        terms = bounded_terms(parse("p U q"), depth=2)
+        assert terms
+        formula = parse("p U q")
+        # Every reported term must imply the original formula.
+        from repro.ltl import implies
+
+        for term in terms:
+            assert implies(term.to_formula(), formula)
+
+    def test_bounded_terms_pure_boolean(self):
+        terms = bounded_terms(parse("a & !b"), depth=1)
+        assert len(terms) == 1
+        assert terms[0].literals() == ((0, "a", True), (0, "b", False))
+
+    def test_bounded_terms_inconsistent_dropped(self):
+        assert bounded_terms(parse("a & !a"), depth=1) == []
+
+    def test_bounded_terms_cap(self):
+        terms = bounded_terms(parse("(a | b) & (c | d)"), depth=1, max_terms=2)
+        assert len(terms) <= 2

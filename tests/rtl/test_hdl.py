@@ -1,0 +1,120 @@
+"""Tests for the HDL front-end."""
+
+import pytest
+
+from repro.logic import expr_equivalent
+from repro.logic.boolexpr import and_, not_, or_, var, xor
+from repro.rtl import HDLError, module_to_hdl, parse_expr, parse_hdl, parse_module
+
+MAL_GLUE = """
+// masking glue of the MAL example
+module M1(input n1, input n2, input busy, output g1, output g2);
+  assign g1 = n1 & !busy;
+  assign g2 = n2 & !busy;
+endmodule
+"""
+
+CACHE = """
+module L1(input g1, input g2, input hit, output d1, output d2, output wait);
+  reg q1 init 0;
+  reg q2 init 0;
+  q1 <= g1 | (q1 & !hit);
+  q2 <= g2 | (q2 & !hit);
+  assign d1 = q1 & hit;
+  assign d2 = q2 & hit;
+  assign wait = q1 | q2 | g1 | g2;
+endmodule
+"""
+
+
+class TestExpressionParser:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("a & b", and_(var("a"), var("b"))),
+            ("a | b", or_(var("a"), var("b"))),
+            ("!a", not_(var("a"))),
+            ("~a", not_(var("a"))),
+            ("a ^ b", xor(var("a"), var("b"))),
+            ("a && b || c", or_(and_(var("a"), var("b")), var("c"))),
+            ("a & (b | c)", and_(var("a"), or_(var("b"), var("c")))),
+            ("1", and_()),
+            ("0 | a", var("a")),
+        ],
+    )
+    def test_parse_expr(self, text, expected):
+        assert expr_equivalent(parse_expr(text), expected)
+
+    def test_parse_expr_errors(self):
+        with pytest.raises(HDLError):
+            parse_expr("a &")
+        with pytest.raises(HDLError):
+            parse_expr("(a")
+        with pytest.raises(HDLError):
+            parse_expr("a @ b")
+
+
+class TestModuleParser:
+    def test_parse_combinational_module(self):
+        module = parse_module(MAL_GLUE)
+        assert module.name == "M1"
+        assert module.inputs == ["n1", "n2", "busy"]
+        assert module.outputs == ["g1", "g2"]
+        assert module.is_combinational()
+        valuation = module.evaluate_combinational({}, {"n1": True, "n2": False, "busy": False})
+        assert valuation["g1"] and not valuation["g2"]
+
+    def test_parse_sequential_module(self):
+        module = parse_module(CACHE)
+        assert set(module.registers) == {"q1", "q2"}
+        assert module.registers["q1"].init is False
+        state = module.initial_state()
+        valuation, state = module.step(state, {"g1": True, "g2": False, "hit": False})
+        assert valuation["wait"]
+        assert state["q1"] and not state["q2"]
+
+    def test_parse_multiple_modules(self):
+        modules = parse_hdl(MAL_GLUE + CACHE)
+        assert set(modules) == {"M1", "L1"}
+
+    def test_comments_are_ignored(self):
+        text = "/* block */ module T(input a, output y); assign y = a; // line\nendmodule"
+        module = parse_module(text)
+        assert module.outputs == ["y"]
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "module X(input a output y); endmodule",  # malformed port
+            "module X(input a); assign = a; endmodule",  # malformed assign
+            "module X(input a); y <= a; endmodule",  # reg not declared
+            "module X(input a); reg y init 2; y <= a; endmodule",  # bad init
+            "module X(input a); reg y init 0; endmodule",  # reg without next
+            "module X(input a); bogus statement; endmodule",
+            "not hdl at all",
+        ],
+    )
+    def test_errors(self, text):
+        with pytest.raises(HDLError):
+            parse_hdl(text)
+
+    def test_missing_endmodule(self):
+        with pytest.raises(HDLError):
+            parse_hdl("module X(input a); assign y = a;")
+
+    def test_roundtrip_through_renderer(self):
+        module = parse_module(CACHE)
+        text = module_to_hdl(module)
+        reparsed = parse_module(text)
+        assert set(reparsed.registers) == set(module.registers)
+        assert set(reparsed.assigns) == set(module.assigns)
+        # Behavioural equivalence on a short input sequence.
+        state_a, state_b = module.initial_state(), reparsed.initial_state()
+        for inputs in (
+            {"g1": True, "g2": False, "hit": False},
+            {"g1": False, "g2": True, "hit": False},
+            {"g1": False, "g2": False, "hit": True},
+        ):
+            valuation_a, state_a = module.step(state_a, inputs)
+            valuation_b, state_b = reparsed.step(state_b, inputs)
+            assert valuation_a == valuation_b

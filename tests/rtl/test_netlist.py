@@ -1,0 +1,104 @@
+"""Tests for the netlist model."""
+
+import pytest
+
+from repro.logic.boolexpr import and_, not_, or_, var
+from repro.rtl import Module, NetlistError
+
+
+def toggler() -> Module:
+    module = Module("toggler")
+    module.add_input("enable")
+    module.add_output("q")
+    module.add_register("q", (var("q") & ~var("enable")) | (~var("q") & var("enable")), init=False)
+    return module
+
+
+class TestConstruction:
+    def test_single_driver_enforced(self):
+        module = Module("m")
+        module.add_assign("x", var("a"))
+        with pytest.raises(NetlistError):
+            module.add_assign("x", var("b"))
+        with pytest.raises(NetlistError):
+            module.add_register("x", var("b"))
+
+    def test_input_cannot_be_driven(self):
+        module = Module("m")
+        module.add_input("a")
+        with pytest.raises(NetlistError):
+            module.add_assign("a", var("b"))
+
+    def test_undriven_signals_detected(self):
+        module = Module("m")
+        module.add_output("y")
+        module.add_assign("y", var("mystery"))
+        assert module.undriven_signals() == frozenset({"mystery"})
+        with pytest.raises(NetlistError):
+            module.validate(allow_undriven=False)
+        module.validate(allow_undriven=True)
+
+    def test_combinational_cycle_detected(self):
+        module = Module("m")
+        module.add_assign("a", var("b"))
+        module.add_assign("b", var("a"))
+        with pytest.raises(NetlistError):
+            module.evaluation_order()
+
+    def test_evaluation_order_topological(self):
+        module = Module("m")
+        module.add_input("x")
+        module.add_assign("b", var("a"))
+        module.add_assign("a", var("x"))
+        order = module.evaluation_order()
+        assert order.index("a") < order.index("b")
+
+    def test_signal_sets(self):
+        module = toggler()
+        assert module.state_signals() == ("q",)
+        assert "enable" in module.signals()
+        assert module.interface_signals() == ("enable", "q")
+        assert not module.is_combinational()
+
+    def test_port_map(self):
+        module = toggler()
+        classes = module.port_map()
+        assert classes["enable"] == "input"
+        assert "register" in classes["q"]
+
+
+class TestEvaluation:
+    def test_combinational_evaluation(self):
+        module = Module("mux")
+        for name in ("s", "a", "b"):
+            module.add_input(name)
+        module.add_output("y")
+        module.add_assign("y", or_(and_(var("s"), var("a")), and_(not_(var("s")), var("b"))))
+        valuation = module.evaluate_combinational({}, {"s": True, "a": True, "b": False})
+        assert valuation["y"] is True
+
+    def test_step_updates_registers(self):
+        module = toggler()
+        state = module.initial_state()
+        assert state == {"q": False}
+        valuation, state = module.step(state, {"enable": True})
+        assert valuation["q"] is False
+        assert state["q"] is True
+        valuation, state = module.step(state, {"enable": True})
+        assert valuation["q"] is True
+        assert state["q"] is False
+
+    def test_register_holds_without_enable(self):
+        module = toggler()
+        state = module.initial_state()
+        _, state = module.step(state, {"enable": False})
+        assert state["q"] is False
+
+    def test_initial_state_respects_init(self):
+        module = Module("m")
+        module.add_register("r", var("r"), init=True)
+        assert module.initial_state() == {"r": True}
+
+    def test_summary_mentions_counts(self):
+        text = toggler().summary()
+        assert "1 inputs" in text and "1 registers" in text

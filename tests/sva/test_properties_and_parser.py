@@ -1,0 +1,121 @@
+"""Tests for SVA properties, the text parser, and integration with the tool."""
+
+import pytest
+
+from repro.ltl.ast import atom
+from repro.ltl.parser import parse
+from repro.ltl.sat import equivalent
+from repro.sva.parser import parse_sva
+from repro.sva.properties import (
+    always,
+    implication,
+    non_overlapping_implication,
+    s_eventually,
+)
+from repro.sva.sequences import SVAError, seq
+
+
+class TestCombinators:
+    def test_always_implication_matches_handwritten_ltl(self):
+        prop = always(implication(seq("req"), "gnt"))
+        assert equivalent(prop.to_ltl(), parse("G(req -> gnt)"))
+
+    def test_non_overlapping_adds_one_cycle(self):
+        prop = always(non_overlapping_implication(seq("req"), "gnt"))
+        assert equivalent(prop.to_ltl(), parse("G(req -> X gnt)"))
+
+    def test_sequence_antecedent_with_delay(self):
+        prop = always(implication(seq("req").then(seq("req")), "gnt"))
+        assert equivalent(prop.to_ltl(), parse("G(req & X req -> X gnt)"))
+
+    def test_s_eventually(self):
+        assert equivalent(s_eventually("done").to_ltl(), parse("F done"))
+
+    def test_property_boolean_algebra(self):
+        prop = always("p") & s_eventually("q")
+        assert equivalent(prop.to_ltl(), parse("G p & F q"))
+        negated = ~always("p")
+        assert equivalent(negated.to_ltl(), parse("!(G p)"))
+
+    def test_implication_requires_sequence_antecedent(self):
+        with pytest.raises(SVAError):
+            implication("req", "gnt")  # type: ignore[arg-type]
+
+
+class TestParser:
+    @pytest.mark.parametrize(
+        "text, ltl",
+        [
+            ("always (req |-> gnt)", "G(req -> gnt)"),
+            ("always (req |=> gnt)", "G(req -> X gnt)"),
+            ("always (req ##1 req |-> gnt)", "G(req & X req -> X gnt)"),
+            ("always (req ##2 ack |=> done)", "G(req & X X ack -> X X X done)"),
+            ("req |-> s_eventually gnt", "req -> F gnt"),
+            ("always (!stall & req |=> gnt)", "G(!stall & req -> X gnt)"),
+            ("s_eventually done", "F done"),
+            ("not always busy", "!(G busy)"),
+            ("always busy or s_eventually done", "G busy | F done"),
+            ("always (a & b) and s_eventually c", "G(a & b) & F c"),
+            ("always (req [*2] |-> gnt)", "G(req & X req -> X gnt)"),
+            ("always (en ##[1:2] fire |-> ok)",
+             "G((en & X fire -> X ok) & (en & X X fire -> X X ok))"),
+        ],
+    )
+    def test_desugaring_matches_reference_ltl(self, text, ltl):
+        assert equivalent(parse_sva(text).to_ltl(), parse(ltl))
+
+    def test_source_is_preserved(self):
+        prop = parse_sva("always (req |-> gnt)")
+        assert str(prop) == "always (req |-> gnt)"
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "   ",
+            "always",
+            "req |->",
+            "req ##",
+            "req ##[2:1] gnt",
+            "(req |-> gnt",
+            "req @ gnt",
+            "always (req [*0] |-> gnt)",
+        ],
+    )
+    def test_malformed_inputs_raise(self, text):
+        with pytest.raises(SVAError):
+            parse_sva(text)
+
+    def test_boolean_constants(self):
+        assert equivalent(parse_sva("always (1 |-> req)").to_ltl(), parse("G req"))
+
+    def test_nested_parentheses_in_boolean(self):
+        prop = parse_sva("always ((a | b) & !c |-> d)")
+        assert equivalent(prop.to_ltl(), parse("G((a | b) & !c -> d)"))
+
+
+class TestToolIntegration:
+    def test_sva_properties_feed_specmatcher(self):
+        """SVA-authored RTL properties behave exactly like their LTL forms."""
+        from repro.core.primary import primary_coverage_check
+        from repro.core.spec import CoverageProblem
+        from repro.designs.mal import (
+            architectural_property,
+            build_cache_logic,
+            build_masking_glue_fig4,
+            environment_assumption,
+        )
+
+        problem = CoverageProblem("MAL via SVA")
+        problem.add_architectural_property(architectural_property())
+        problem.add_assumption(environment_assumption())
+        for text in ("always (n1 |=> g1)", "always (!n1 & n2 |=> g2)"):
+            problem.add_rtl_property(parse_sva(text).to_ltl())
+        problem.add_rtl_property(parse("G(X g1 -> n1)"))
+        problem.add_rtl_property(parse("G(X g2 -> (!n1 & n2))"))
+        problem.add_rtl_property(parse("!g1 & !g2"))
+        problem.add_concrete_module(build_masking_glue_fig4())
+        problem.add_concrete_module(build_cache_logic())
+        result = primary_coverage_check(problem)
+        # Same verdict as the catalogued Figure-4 problem: not covered.
+        assert not result.covered

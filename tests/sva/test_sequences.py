@@ -1,0 +1,126 @@
+"""Tests for the SVA sequence layer (linear forms and LTL translation)."""
+
+import pytest
+
+from repro.ltl.ast import atom
+from repro.ltl.parser import parse
+from repro.ltl.sat import equivalent
+from repro.ltl.traces import LassoTrace, evaluate
+from repro.sva.sequences import SVAError, Sequence, concat, delay, first_match_length, repeat, seq, union
+
+a, b, c = atom("a"), atom("b"), atom("c")
+
+
+def lasso(*states, loop_start=None):
+    """Helper: build a lasso from per-cycle dicts (defaults to looping on the last)."""
+    states = list(states)
+    if loop_start is None:
+        loop_start = len(states) - 1
+    return LassoTrace.from_states(states, loop_start)
+
+
+class TestConstruction:
+    def test_seq_accepts_strings_and_formulas(self):
+        sequence = seq("a", b, "c")
+        assert sequence.lengths() == (3,)
+        assert sequence.form_count() == 1
+
+    def test_empty_seq_rejected(self):
+        with pytest.raises(SVAError):
+            seq()
+
+    def test_temporal_elements_rejected(self):
+        with pytest.raises(SVAError):
+            seq(parse("F a"))
+
+    def test_delay_must_be_positive(self):
+        with pytest.raises(SVAError):
+            delay(0)
+
+
+class TestComposition:
+    def test_then_default_gap(self):
+        sequence = seq(a).then(seq(b))
+        assert sequence.lengths() == (2,)
+
+    def test_then_with_idle_cycles(self):
+        sequence = seq(a).then(seq(b), gap=3)
+        assert sequence.lengths() == (4,)
+
+    def test_fusion_overlaps_the_boundary_cycle(self):
+        sequence = seq(a).then(seq(b), gap=0)
+        assert sequence.lengths() == (1,)
+        assert equivalent(sequence.match_formula(), parse("a & b"))
+
+    def test_ranged_delay_produces_alternatives(self):
+        sequence = seq(a).then_range(seq(b), 1, 3)
+        assert sequence.lengths() == (2, 3, 4)
+        assert sequence.form_count() == 3
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(SVAError):
+            seq(a).then_range(seq(b), 3, 1)
+        with pytest.raises(SVAError):
+            seq(a).then(seq(b), gap=-1)
+
+    def test_repeat_fixed_and_ranged(self):
+        assert repeat(seq(a), 3).lengths() == (3,)
+        assert repeat(seq(a), 1, 3).lengths() == (1, 2, 3)
+
+    def test_repeat_zero_rejected(self):
+        with pytest.raises(SVAError):
+            repeat(seq(a), 0)
+
+    def test_union_merges_and_deduplicates(self):
+        merged = union(seq(a), seq(a), seq(b, c))
+        assert merged.form_count() == 2
+
+    def test_concat_helper(self):
+        assert concat(seq(a), seq(b), seq(c)).lengths() == (3,)
+
+    def test_first_match_length(self):
+        assert first_match_length(seq(a).then_range(seq(b), 1, 4)) == 2
+
+
+class TestMatchFormula:
+    def test_single_cycle(self):
+        assert equivalent(seq("a").match_formula(), parse("a"))
+
+    def test_chain_is_nested_next(self):
+        assert equivalent(seq("a", "b").match_formula(), parse("a & X b"))
+
+    def test_ranged_delay_is_disjunction(self):
+        sequence = seq(a).then_range(seq(b), 1, 2)
+        assert equivalent(sequence.match_formula(), parse("(a & X b) | (a & X X b)"))
+
+    def test_match_on_concrete_trace(self):
+        sequence = seq("req").then(seq("gnt"), gap=2)
+        trace = lasso({"req": True}, {}, {"gnt": True}, {})
+        assert evaluate(sequence.match_formula(), trace)
+        miss = lasso({"req": True}, {"gnt": True}, {}, {})
+        assert not evaluate(sequence.match_formula(), miss)
+
+
+class TestSuffixImplication:
+    def test_overlapping_lands_on_last_match_cycle(self):
+        formula = seq("req", "busy").ends_with(atom("gnt"), overlap=True)
+        good = lasso({"req": True}, {"busy": True, "gnt": True}, {})
+        bad = lasso({"req": True}, {"busy": True}, {"gnt": True})
+        assert evaluate(formula, good)
+        assert not evaluate(formula, bad)
+
+    def test_non_overlapping_lands_one_cycle_later(self):
+        formula = seq("req", "busy").ends_with(atom("gnt"), overlap=False)
+        good = lasso({"req": True}, {"busy": True}, {"gnt": True}, {})
+        assert evaluate(formula, good)
+
+    def test_vacuous_when_antecedent_never_matches(self):
+        formula = seq("req").ends_with(atom("gnt"), overlap=True)
+        assert evaluate(formula, lasso({}, {}))
+
+    def test_every_alternative_is_obliged(self):
+        sequence = seq(a).then_range(seq(b), 1, 2)
+        formula = sequence.ends_with(c, overlap=True)
+        # b arrives at +2 but c is missing there: the second alternative is violated.
+        trace = lasso({"a": True}, {}, {"b": True}, {})
+        assert not evaluate(formula, trace)

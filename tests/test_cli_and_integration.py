@@ -1,0 +1,83 @@
+"""CLI smoke tests and end-to-end integration tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core import CoverageOptions, SpecMatcher
+from repro.designs import build_cache_logic, build_masking_glue_fig4
+from repro.ltl import implies, parse
+
+
+class TestCLI:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["check", "mal_fig2"])
+        assert args.command == "check" and args.design == "mal_fig2"
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "mal_fig2" in out and "amba_ahb" in out
+
+    def test_check_covered_design(self, capsys):
+        assert main(["check", "mal_fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "covered  : True" in out
+
+    def test_check_gap_design(self, capsys):
+        assert main(["check", "mal_fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "covered  : False" in out
+        assert "witness" in out
+
+    def test_timing_diagrams(self, capsys):
+        assert main(["timing"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3(a)" in out and "Figure 3(b)" in out
+        assert "wait" in out
+
+
+class TestSpecMatcherFacade:
+    def test_fluent_construction_and_primary_query(self):
+        matcher = SpecMatcher("facade-test")
+        matcher.add_architectural_property("G(!wait & r1 & X(r1 U r2) -> X(!d2 U d1))")
+        matcher.add_rtl_properties(["G(n1 <-> X g1)", "G((!n1 & n2) <-> X g2)", "!g1 & !g2"])
+        matcher.add_assumption("G(wait -> F hit)")
+        matcher.add_concrete_module(build_masking_glue_fig4())
+        matcher.add_concrete_module(build_cache_logic())
+        result = matcher.primary_coverage()
+        assert not result.covered
+        hole = matcher.coverage_hole()
+        assert implies(hole.architectural, hole.formula)
+        assert "facade-test" in matcher.summary()
+
+    def test_hdl_text_module_entry(self):
+        matcher = SpecMatcher("hdl-entry")
+        matcher.add_architectural_property("G(a -> X y)")
+        matcher.add_rtl_property("G(a -> X y)")
+        matcher.add_concrete_module(
+            "module inv(input a, output y); reg y init 0; y <= a; endmodule"
+        )
+        assert matcher.primary_coverage().covered
+
+
+@pytest.mark.slow
+class TestEndToEnd:
+    def test_full_mal_gap_analysis_finds_verified_gap(self, mal_gap_problem):
+        options = CoverageOptions(
+            max_witnesses=2, unfold_depth=5, max_closure_checks=8, max_reported_gaps=2
+        )
+        matcher = SpecMatcher("MAL end-to-end", options)
+        matcher.problem = mal_gap_problem
+        report = matcher.run()
+        assert not report.covered
+        analysis = report.analyses[0]
+        if analysis.gap_properties:
+            assert analysis.gap_verified
+            for candidate in analysis.gap_properties:
+                assert implies(analysis.property_formula, candidate.formula)
+        else:
+            assert analysis.fallback_to_hole
+        row = report.table1_row()
+        assert row["rtl_properties"] == 4
+        assert row["gap_finding_seconds"] > 0
