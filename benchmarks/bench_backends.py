@@ -1,27 +1,39 @@
-"""Ablation: explicit-state vs SAT-based backend for the primary coverage question.
+"""Ablation: the engine × prop-backend matrix for the primary coverage question.
 
 Theorem 1 reduces the coverage question to one model-checking query on the
-concrete modules.  The tool ships two engines for that query — the
+concrete modules.  The tool ships two coverage engines for that query — the
 explicit-state product/nested-DFS engine (:mod:`repro.mc`) and the bounded
-SAT-based engine (:mod:`repro.bmc`).  This benchmark runs both on every
-catalogued design and checks they agree; the per-engine timings show the
-trade-off (the explicit engine is complete; BMC pays per-bound SAT calls but
-touches only the behaviour up to the bound).
+SAT-based engine (:mod:`repro.bmc`) — and three propositional decision
+backends (truth table / BDD / CDCL SAT) behind the :mod:`repro.engines`
+registries.  This benchmark runs the *full matrix* on every catalogued design
+and checks all combinations agree; the per-cell timings show the trade-offs
+(the explicit engine is complete; BMC pays per-bound SAT calls but touches
+only the behaviour up to the bound; the prop backend governs every boolean
+validity/equivalence query underneath).
+
+A separate micro-benchmark certifies the point of the backend layer: on a
+wide (≥ 12-variable) equivalence query the BDD or SAT backend beats the
+exhaustive truth-table sweep outright.
 """
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
-from repro.bmc.primary import bmc_primary_coverage
-from repro.core.primary import primary_coverage_check
-from repro.designs import get_design
+from repro.engines import get_engine, get_prop_backend, using_prop_backend
+from repro.logic.boolexpr import and_, not_, or_, var
 
 _DESIGNS = ["mal_fig2", "mal_fig4", "paper_example", "intel_like"]
+_ENGINES = ["explicit", "bmc"]
+_PROP_BACKENDS = ["table", "bdd", "sat", "auto"]
 _BMC_BOUND = 6
 
 
 def _available_designs():
+    from repro.designs import get_design
+
     names = []
     for name in _DESIGNS:
         try:
@@ -32,24 +44,65 @@ def _available_designs():
     return names
 
 
-@pytest.mark.parametrize("engine", ["explicit", "bmc"])
+@pytest.mark.parametrize("prop_backend", _PROP_BACKENDS)
+@pytest.mark.parametrize("engine", _ENGINES)
 @pytest.mark.parametrize("name", _available_designs())
-def test_primary_coverage_backend(benchmark, engine, name):
+def test_primary_coverage_backend_matrix(benchmark, engine, prop_backend, name):
+    from repro.designs import get_design
+
     entry = get_design(name)
     problem = entry.builder()
+    engine_instance = get_engine(engine, max_bound=_BMC_BOUND)
 
-    if engine == "explicit":
-        result = benchmark.pedantic(
-            lambda: primary_coverage_check(problem), rounds=1, iterations=1
-        )
-        covered = result.covered
-    else:
-        result = benchmark.pedantic(
-            lambda: bmc_primary_coverage(problem, max_bound=_BMC_BOUND), rounds=1, iterations=1
-        )
-        covered = result.covered_up_to_bound
+    def run():
+        with using_prop_backend(prop_backend):
+            return engine_instance.check_primary(problem)
 
-    # Both engines must agree with the catalogued verdict.  (For BMC a
-    # "covered" verdict is bounded; on these glue-logic-sized designs the
-    # bound exceeds the diameter, so the verdicts coincide.)
-    assert covered == entry.expected_covered
+    verdict = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Every engine × prop-backend combination must agree with the catalogued
+    # verdict.  (For BMC a "covered" verdict is bounded; on these
+    # glue-logic-sized designs the bound exceeds the diameter, so the
+    # verdicts coincide.)
+    assert verdict.covered == entry.expected_covered
+    assert verdict.engine == engine_instance.name
+
+
+def _wide_equivalent_pair(width: int):
+    """Two syntactically different but equivalent expressions over ``2*width`` vars.
+
+    ``left`` is a sum of products; ``right`` is the same function written
+    through De Morgan's laws with shuffled operand order — forcing a real
+    equivalence decision rather than a syntactic match.
+    """
+    xs = [var(f"x{i}") for i in range(width)]
+    ys = [var(f"y{i}") for i in range(width)]
+    left = or_(*(and_(xs[i], ys[i]) for i in range(width)))
+    right = not_(and_(*(or_(not_(xs[i]), not_(ys[i])) for i in reversed(range(width)))))
+    return left, right
+
+
+def test_wide_equivalence_beats_truth_table():
+    """BDD or SAT must beat exhaustive enumeration on a ≥ 12-variable query."""
+    left, right = _wide_equivalent_pair(8)  # 16 variables, 65536 rows for the table
+    assert len(left.variables() | right.variables()) >= 12
+
+    timings = {}
+    for name in ("table", "bdd", "sat"):
+        backend = get_prop_backend(name)
+        start = time.perf_counter()
+        assert backend.equivalent(left, right)
+        timings[name] = time.perf_counter() - start
+
+    assert min(timings["bdd"], timings["sat"]) < timings["table"], timings
+
+
+def test_auto_policy_skips_enumeration_above_cutoff():
+    """The auto policy must not route wide queries to the truth-table backend."""
+    from repro.engines.prop import AutoBackend, TruthTableBackend
+
+    auto = AutoBackend()
+    left, right = _wide_equivalent_pair(8)
+    joint = len(left.variables() | right.variables())
+    assert not isinstance(auto.pick(joint), TruthTableBackend)
+    assert auto.equivalent(left, right)

@@ -16,6 +16,9 @@ The package layers are:
 * :mod:`repro.mc` — explicit-state LTL model checking,
 * :mod:`repro.bmc` — SAT-based bounded model checking and k-induction,
 * :mod:`repro.sva` — a bounded SVA property front-end desugaring to LTL,
+* :mod:`repro.engines` — the unified decision-backend layer: propositional
+  backends (truth table / BDD / SAT / auto) and coverage engines
+  (explicit / bmc) behind string-keyed registries,
 * :mod:`repro.core` — the paper's contribution: the intent-coverage problem,
   the ``T_M`` construction, the primary coverage question (Theorem 1), the
   coverage hole (Theorem 2), the gap-presentation Algorithm 1 and the
@@ -34,6 +37,12 @@ Quick start::
 from .ltl import parse, Formula, LassoTrace
 from .rtl import Module, parse_module, compose, simulate, Stimulus
 from .mc import check, find_run
+from .engines import (
+    get_engine,
+    get_prop_backend,
+    set_prop_backend,
+    using_prop_backend,
+)
 from .core import (
     CoverageProblem,
     CoverageOptions,
@@ -62,6 +71,10 @@ __all__ = [
     "Stimulus",
     "check",
     "find_run",
+    "get_engine",
+    "get_prop_backend",
+    "set_prop_backend",
+    "using_prop_backend",
     "CoverageProblem",
     "CoverageOptions",
     "CoverageReport",

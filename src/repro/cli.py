@@ -20,7 +20,8 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .core import CoverageOptions, analyze_problem, format_report, format_table1, primary_coverage_check
+from .core import CoverageOptions, analyze_problem, format_report, format_table1
+from .engines import engine_names, get_engine, prop_backend_names, using_prop_backend
 from .designs import (
     build_full_mal_fig2,
     get_design,
@@ -34,6 +35,13 @@ from .rtl import Stimulus, render_waveform, simulate
 __all__ = ["main", "build_parser"]
 
 
+def _non_negative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"bound must be >= 0, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="specmatcher",
@@ -41,22 +49,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_backend_flags(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument(
+            "--engine",
+            choices=sorted(engine_names()),
+            default="explicit",
+            help="primary-coverage engine (explicit-state nested DFS or bounded SAT)",
+        )
+        sub_parser.add_argument(
+            "--prop-backend",
+            choices=sorted(prop_backend_names()),
+            default="auto",
+            help="propositional decision backend (truth table / BDD / SAT / auto)",
+        )
+        sub_parser.add_argument(
+            "--bound",
+            type=_non_negative_int,
+            default=12,
+            help="unrolling bound for the bmc engine (ignored by explicit)",
+        )
+
     sub.add_parser("list", help="list the built-in designs")
 
     check_parser = sub.add_parser("check", help="primary coverage question for a design")
     check_parser.add_argument("design", choices=design_names())
+    add_backend_flags(check_parser)
 
     analyze_parser = sub.add_parser("analyze", help="full coverage-gap analysis for a design")
     analyze_parser.add_argument("design", choices=design_names())
     analyze_parser.add_argument("--max-witnesses", type=int, default=3)
     analyze_parser.add_argument("--depth", type=int, default=5)
     analyze_parser.add_argument("--no-witnesses", action="store_true", help="omit witness waveforms")
+    add_backend_flags(analyze_parser)
 
     table_parser = sub.add_parser("table1", help="regenerate the paper's Table 1")
     table_parser.add_argument("--max-witnesses", type=int, default=2)
+    add_backend_flags(table_parser)
 
     sub.add_parser("timing", help="print the Figure 3 timing diagrams (MAL simulation)")
     return parser
+
+
+def _options_from_args(args: argparse.Namespace, **overrides) -> CoverageOptions:
+    """Build CoverageOptions from the shared backend flags plus per-command overrides."""
+    return CoverageOptions(
+        engine=args.engine,
+        prop_backend=args.prop_backend,
+        bmc_max_bound=args.bound,
+        **overrides,
+    )
 
 
 def _cmd_list() -> int:
@@ -69,34 +110,40 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_check(design: str) -> int:
+def _cmd_check(design: str, args: argparse.Namespace) -> int:
     entry = get_design(design)
     problem = entry.builder()
-    result = primary_coverage_check(problem)
+    engine = get_engine(args.engine, max_bound=args.bound)
+    with using_prop_backend(args.prop_backend):
+        verdict = engine.check_primary(problem)
     print(f"design   : {problem.name}")
-    print(f"covered  : {result.covered}")
-    print(f"time     : {result.elapsed_seconds:.3f} s")
-    if not result.covered and result.witness is not None:
+    print(f"engine   : {verdict.engine}")
+    if verdict.covered and not verdict.complete:
+        print(f"covered  : {verdict.covered} (up to bound {verdict.bound})")
+    else:
+        print(f"covered  : {verdict.covered}")
+    print(f"time     : {verdict.elapsed_seconds:.3f} s")
+    if not verdict.covered and verdict.witness is not None:
         print("witness run (first cycles):")
-        table = result.witness.to_table(8)
+        table = verdict.witness.to_table(8)
         from .rtl import render_table
 
         print(render_table(table))
-    return 0 if result.covered == entry.expected_covered else 1
+    return 0 if verdict.covered == entry.expected_covered else 1
 
 
-def _cmd_analyze(design: str, max_witnesses: int, depth: int, show_witnesses: bool) -> int:
+def _cmd_analyze(design: str, args: argparse.Namespace) -> int:
     entry = get_design(design)
     problem = entry.builder()
-    options = CoverageOptions(max_witnesses=max_witnesses, unfold_depth=depth)
+    options = _options_from_args(args, max_witnesses=args.max_witnesses, unfold_depth=args.depth)
     report = analyze_problem(problem, options)
-    print(format_report(report, show_witnesses=show_witnesses))
+    print(format_report(report, show_witnesses=not args.no_witnesses))
     return 0
 
 
-def _cmd_table1(max_witnesses: int) -> int:
+def _cmd_table1(args: argparse.Namespace) -> int:
     rows = []
-    options = CoverageOptions(max_witnesses=max_witnesses)
+    options = _options_from_args(args, max_witnesses=args.max_witnesses)
     for entry in table1_designs():
         problem = entry.builder()
         report = analyze_problem(problem, options)
@@ -123,11 +170,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "check":
-        return _cmd_check(args.design)
+        return _cmd_check(args.design, args)
     if args.command == "analyze":
-        return _cmd_analyze(args.design, args.max_witnesses, args.depth, not args.no_witnesses)
+        return _cmd_analyze(args.design, args)
     if args.command == "table1":
-        return _cmd_table1(args.max_witnesses)
+        return _cmd_table1(args)
     if args.command == "timing":
         return _cmd_timing()
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

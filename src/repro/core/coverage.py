@@ -24,10 +24,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from ..engines.coverage import engine_from_options
+from ..engines.prop import using_prop_backend
 from ..ltl.ast import Formula
 from ..ltl.printer import to_str
 from .hole import CoverageHole, coverage_hole
-from .primary import PrimaryCoverageResult, is_covered_with, primary_coverage_check
+from .primary import PrimaryCoverageResult, primary_coverage_check
 from .push import PushResult, push_terms
 from .spec import CoverageProblem
 from .terms import UncoveredTerms, uncovered_terms
@@ -38,7 +40,17 @@ __all__ = ["CoverageOptions", "GapAnalysis", "CoverageReport", "find_coverage_ga
 
 @dataclass
 class CoverageOptions:
-    """Tunables of the gap-finding pipeline."""
+    """Tunables of the gap-finding pipeline.
+
+    ``engine`` selects the primary-coverage engine from the
+    :mod:`repro.engines` registry (``"explicit"`` — complete nested-DFS — or
+    ``"bmc"`` — bounded SAT up to ``bmc_max_bound``).  ``prop_backend``
+    selects the propositional decision backend (``"auto"``, ``"table"``,
+    ``"bdd"``, ``"sat"``) installed for the duration of an analysis; the
+    default ``None`` keeps the process-wide active backend (``auto`` unless
+    changed via :func:`repro.engines.set_prop_backend`), so a globally
+    installed backend is respected.
+    """
 
     max_witnesses: int = 3
     unfold_depth: int = 5
@@ -49,6 +61,9 @@ class CoverageOptions:
     verify_closure: bool = True
     minimize_tm_guards: bool = True
     restrict_to_free_signals: bool = True
+    engine: str = "explicit"
+    prop_backend: Optional[str] = None
+    bmc_max_bound: int = 12
 
 
 @dataclass
@@ -67,22 +82,29 @@ class GapAnalysis:
     tm_seconds: float = 0.0
     primary_seconds: float = 0.0
     gap_seconds: float = 0.0
+    #: False when the positive verdicts above (covered / gap_verified) are
+    #: bounded — i.e. produced by the BMC engine, which proves absence of a
+    #: witness only up to ``CoverageOptions.bmc_max_bound``.
+    complete: bool = True
 
     @property
     def gap_formulas(self) -> List[Formula]:
         return [candidate.formula for candidate in self.gap_properties]
 
     def describe(self) -> str:
+        bounded = "" if self.complete else " (bounded: BMC engine, holds up to the bound only)"
         lines = [f"property: {to_str(self.property_formula)}"]
         if self.covered:
-            lines.append("  covered by the RTL specification (primary question negative)")
+            lines.append(
+                f"  covered by the RTL specification (primary question negative){bounded}"
+            )
             return "\n".join(lines)
         lines.append("  NOT covered; coverage gap:")
         if self.gap_properties:
             for candidate in self.gap_properties:
                 lines.append(f"    {to_str(candidate.formula)}")
                 lines.append(f"      ({candidate.description})")
-            lines.append(f"  gap closure verified: {self.gap_verified}")
+            lines.append(f"  gap closure verified: {self.gap_verified}{bounded}")
         elif self.hole is not None:
             lines.append("    (no structure-preserving weakening found; exact hole reported)")
             lines.append(f"    {to_str(self.hole.formula)}")
@@ -133,18 +155,33 @@ def find_coverage_gap(
     architectural: Formula,
     options: Optional[CoverageOptions] = None,
 ) -> GapAnalysis:
-    """Run Algorithm 1 for a single architectural property."""
-    options = options or CoverageOptions()
+    """Run Algorithm 1 for a single architectural property.
 
+    Every decision query of the run — the primary coverage question, witness
+    enumeration, closure checks and ``T_M`` construction — goes through the
+    engine and propositional backend selected by ``options``.
+    """
+    options = options or CoverageOptions()
+    with using_prop_backend(options.prop_backend):
+        return _find_coverage_gap(problem, architectural, options)
+
+
+def _find_coverage_gap(
+    problem: CoverageProblem,
+    architectural: Formula,
+    options: CoverageOptions,
+) -> GapAnalysis:
     # Step 1: T_M and the exact hole.
     tm_start = time.perf_counter()
-    hole = coverage_hole(
-        problem, architectural=architectural, minimize_guards=options.minimize_tm_guards
-    )
+    hole = coverage_hole(problem, architectural=architectural, options=options)
     tm_seconds = time.perf_counter() - tm_start
 
+    # Resolve the engine once per analysis: the closure checks below reuse it
+    # instead of re-resolving from options on every candidate.
+    engine = engine_from_options(options)
+
     # Step 2 guard: the primary coverage question for this property.
-    primary = primary_coverage_check(problem, architectural=architectural)
+    primary = primary_coverage_check(problem, architectural=architectural, options=options)
     if primary.covered:
         return GapAnalysis(
             property_formula=architectural,
@@ -153,6 +190,7 @@ def find_coverage_gap(
             hole=hole,
             tm_seconds=tm_seconds,
             primary_seconds=primary.elapsed_seconds,
+            complete=primary.complete,
         )
 
     gap_start = time.perf_counter()
@@ -162,6 +200,7 @@ def find_coverage_gap(
         architectural=architectural,
         max_witnesses=options.max_witnesses,
         depth=options.unfold_depth,
+        options=options,
     )
     # Step 2(c): push the terms into the parse tree.
     push = push_terms(architectural, terms.terms)
@@ -179,12 +218,7 @@ def find_coverage_gap(
         free_suggestions = [s for s in suggestions if s.literal_name not in driven]
         if free_suggestions:
             suggestions = free_suggestions
-    candidates = generate_candidates(
-        architectural,
-        suggestions,
-        include_negated_literals=options.include_negated_literals,
-        max_candidates=options.max_candidates,
-    )
+    candidates = generate_candidates(architectural, suggestions, options=options)
     # Cheap necessary-condition filter before the expensive closure checks: a
     # candidate can only close the gap if every collected witness run violates
     # it (otherwise that witness remains admissible after adding it).
@@ -200,14 +234,9 @@ def find_coverage_gap(
     candidates = candidates[: options.max_closure_checks]
 
     def closes(candidate: Formula) -> bool:
-        return is_covered_with(problem, [candidate], architectural=architectural)
+        return engine.is_covered_with(problem, [candidate], architectural=architectural)
 
-    gap_properties = select_weakest(
-        architectural,
-        candidates,
-        closes,
-        max_reported=options.max_reported_gaps,
-    )
+    gap_properties = select_weakest(architectural, candidates, closes, options=options)
 
     fallback = False
     if not gap_properties:
@@ -218,7 +247,7 @@ def find_coverage_gap(
     gap_verified = False
     if options.verify_closure:
         if gap_properties:
-            gap_verified = is_covered_with(
+            gap_verified = engine.is_covered_with(
                 problem,
                 [candidate.formula for candidate in gap_properties[:1]],
                 architectural=architectural,
@@ -226,7 +255,7 @@ def find_coverage_gap(
         else:
             from .hole import hole_closes_gap
 
-            gap_verified = hole_closes_gap(problem, hole)
+            gap_verified = hole_closes_gap(problem, hole, options=options)
     gap_seconds = time.perf_counter() - gap_start
 
     return GapAnalysis(
@@ -242,6 +271,9 @@ def find_coverage_gap(
         tm_seconds=tm_seconds,
         primary_seconds=primary.elapsed_seconds,
         gap_seconds=gap_seconds,
+        # Closure checks are "no refuting run exists" queries: definitive on
+        # the complete engine, bounded on BMC.
+        complete=engine.complete,
     )
 
 

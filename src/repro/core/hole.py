@@ -16,12 +16,15 @@ used to validate them (and to cross-check the legible output against them).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from ..ltl.ast import Formula, Not, Or, conj
 from ..ltl.rewrite import simplify
 from .spec import CoverageProblem
 from .tm import TMResult, build_tm_for_modules
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .coverage import CoverageOptions
 
 __all__ = ["CoverageHole", "coverage_hole", "hole_closes_gap"]
 
@@ -59,13 +62,23 @@ def coverage_hole(
     problem: CoverageProblem,
     *,
     architectural: Optional[Formula] = None,
-    minimize_guards: bool = True,
+    minimize_guards: Optional[bool] = None,
+    options: Optional["CoverageOptions"] = None,
 ) -> CoverageHole:
-    """Compute the exact coverage hole of Theorem 2 for the problem."""
+    """Compute the exact coverage hole of Theorem 2 for the problem.
+
+    ``options`` (when given) supplies ``minimize_tm_guards`` and the
+    propositional backend used while building ``T_M``; an explicitly passed
+    ``minimize_guards`` wins over ``options``.
+    """
     problem.validate()
+    if minimize_guards is None:
+        minimize_guards = options.minimize_tm_guards if options else True
     target = architectural if architectural is not None else problem.architectural_conjunction()
     tm_formula, tm_results, tm_seconds = build_tm_for_modules(
-        problem.concrete_modules, minimize_guards=minimize_guards
+        problem.concrete_modules,
+        minimize_guards=minimize_guards,
+        prop_backend=None if options is None else options.prop_backend,
     )
     return CoverageHole(
         problem_name=problem.name,
@@ -77,7 +90,11 @@ def coverage_hole(
     )
 
 
-def hole_closes_gap(problem: CoverageProblem, hole: CoverageHole) -> bool:
+def hole_closes_gap(
+    problem: CoverageProblem,
+    hole: CoverageHole,
+    options: Optional["CoverageOptions"] = None,
+) -> bool:
     """Sanity check of Theorem 2: ``(R & R_H) & !A`` must be false in ``M``.
 
     The check is performed compositionally.  A run admitted by ``R & R_H`` that
@@ -89,13 +106,14 @@ def hole_closes_gap(problem: CoverageProblem, hole: CoverageHole) -> bool:
     cube or ``F(!step-relation)``, both of which have small monitors — avoiding
     a tableau over the (large) ``T_M`` formula itself.
     """
+    from ..engines.coverage import engine_from_options
     from ..ltl.rewrite import conjuncts
-    from ..mc.modelcheck import find_run
 
+    engine = engine_from_options(options)
     module = problem.composed_module()
     base = [Not(hole.architectural)] + problem.all_rtl_formulas()
     for conjunct in conjuncts(hole.tm_formula):
-        result = find_run(module, base + [Not(conjunct)])
+        result = engine.find_run(module, base + [Not(conjunct)])
         if result.satisfiable:
             return False
     return True

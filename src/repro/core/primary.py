@@ -8,19 +8,29 @@ Operationally: search for a run of the concrete modules that satisfies every
 RTL property but refutes the architectural intent.  If such a run exists the
 intent is *not* covered and the run is returned as a witness (the start of the
 gap analysis); if no such run exists, coverage is proved.
+
+The search itself is delegated to a :class:`~repro.engines.coverage.CoverageEngine`
+selected via ``options`` (:class:`~repro.core.coverage.CoverageOptions`):
+the complete explicit-state engine by default, or the bounded SAT engine
+(``engine="bmc"``), whose *covered* verdicts hold up to
+``options.bmc_max_bound`` only (``PrimaryCoverageResult.complete`` records
+the distinction).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
+from ..engines.coverage import engine_from_options
 from ..ltl.ast import Formula, Not
 from ..ltl.traces import LassoTrace
-from ..mc.modelcheck import ExistentialResult, find_run
 from ..mc.product import ProductStatistics
 from .spec import CoverageProblem
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (coverage imports primary)
+    from .coverage import CoverageOptions
 
 __all__ = ["PrimaryCoverageResult", "primary_coverage_check", "is_covered_with"]
 
@@ -34,6 +44,9 @@ class PrimaryCoverageResult:
     witness: Optional[LassoTrace] = None
     elapsed_seconds: float = 0.0
     statistics: ProductStatistics = field(default_factory=ProductStatistics)
+    engine: str = "explicit"
+    #: False when a *covered* verdict is only bounded (BMC below the diameter).
+    complete: bool = True
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return self.covered
@@ -43,25 +56,32 @@ def primary_coverage_check(
     problem: CoverageProblem,
     *,
     architectural: Optional[Formula] = None,
+    options: Optional["CoverageOptions"] = None,
 ) -> PrimaryCoverageResult:
     """Answer the primary coverage question for the problem.
 
     ``architectural`` restricts the check to a single architectural property
     (Algorithm 1 analyses the intent property by property); by default the
-    conjunction of the whole intent is used.
+    conjunction of the whole intent is used.  ``options`` selects the engine
+    (``options.engine``, default explicit-state).
     """
     problem.validate()
+    engine = engine_from_options(options)
     target = architectural if architectural is not None else problem.architectural_conjunction()
     formulas: List[Formula] = [Not(target)] + problem.all_rtl_formulas()
     start = time.perf_counter()
-    result = find_run(problem.composed_module(), formulas)
+    result = engine.find_run(problem.composed_module(), formulas)
     elapsed = time.perf_counter() - start
+    statistics = result.statistics if isinstance(result.statistics, ProductStatistics) else ProductStatistics()
+    covered = not result.satisfiable
     return PrimaryCoverageResult(
         problem_name=problem.name,
-        covered=not result.satisfiable,
+        covered=covered,
         witness=result.witness,
         elapsed_seconds=elapsed,
-        statistics=result.statistics,
+        statistics=statistics,
+        engine=engine.name,
+        complete=engine.complete or not covered,
     )
 
 
@@ -70,13 +90,14 @@ def is_covered_with(
     extra_properties: Sequence[Formula],
     *,
     architectural: Optional[Formula] = None,
+    options: Optional["CoverageOptions"] = None,
 ) -> bool:
     """Theorem 1 with additional candidate properties added to the RTL spec.
 
     This is the closure check used by the gap-finding algorithm: a candidate
     gap property ``G`` closes the hole iff ``(R & G) & !A`` is false in ``M``.
     """
-    target = architectural if architectural is not None else problem.architectural_conjunction()
-    formulas: List[Formula] = [Not(target)] + problem.all_rtl_formulas() + list(extra_properties)
-    result = find_run(problem.composed_module(), formulas)
-    return not result.satisfiable
+    engine = engine_from_options(options)
+    return engine.is_covered_with(
+        problem, list(extra_properties), architectural=architectural
+    )

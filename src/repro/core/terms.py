@@ -21,13 +21,16 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..engines.coverage import engine_from_options
 from ..ltl.ast import Formula, Not
 from ..ltl.traces import LassoTrace
 from ..ltl.unfold import TemporalTerm, term_from_trace
-from ..mc.modelcheck import find_run
 from .spec import CoverageProblem
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .coverage import CoverageOptions
 
 __all__ = ["UncoveredTerms", "collect_gap_witnesses", "uncovered_terms"]
 
@@ -51,13 +54,17 @@ def collect_gap_witnesses(
     architectural: Optional[Formula] = None,
     max_witnesses: int = 4,
     depth: int = 5,
+    options: Optional["CoverageOptions"] = None,
 ) -> List[LassoTrace]:
     """Enumerate distinct runs admitted by ``R`` + concrete modules but refuting ``A``.
 
     Each new query excludes the bounded prefixes of the witnesses found so
     far, so the enumeration keeps producing genuinely different scenarios
     until either no further run exists or ``max_witnesses`` is reached.
+    The existential queries run on the engine selected by ``options``
+    (explicit-state by default, BMC with ``options.engine == "bmc"``).
     """
+    engine = engine_from_options(options)
     target = architectural if architectural is not None else problem.architectural_conjunction()
     base_formulas: List[Formula] = [Not(target)] + problem.all_rtl_formulas()
     module = problem.composed_module()
@@ -66,7 +73,7 @@ def collect_gap_witnesses(
     witnesses: List[LassoTrace] = []
     exclusions: List[Formula] = []
     for _ in range(max_witnesses):
-        result = find_run(module, base_formulas + exclusions)
+        result = engine.find_run(module, base_formulas + exclusions)
         if not result.satisfiable or result.witness is None:
             break
         witnesses.append(result.witness)
@@ -83,11 +90,16 @@ def uncovered_terms(
     architectural: Optional[Formula] = None,
     max_witnesses: int = 4,
     depth: int = 5,
+    options: Optional["CoverageOptions"] = None,
 ) -> UncoveredTerms:
     """Steps 2(a)+(b) of Algorithm 1: bounded uncovered terms over ``APR`` and ``APA``."""
     start = time.perf_counter()
     witnesses = collect_gap_witnesses(
-        problem, architectural=architectural, max_witnesses=max_witnesses, depth=depth
+        problem,
+        architectural=architectural,
+        max_witnesses=max_witnesses,
+        depth=depth,
+        options=options,
     )
     apr = problem.apr
     apa = problem.apa

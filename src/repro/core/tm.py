@@ -28,7 +28,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..logic.boolexpr import AndExpr, BoolExpr, Const, NotExpr, OrExpr, Var, XorExpr
+from ..engines.prop import active_prop_backend, using_prop_backend
+from ..logic.boolexpr import FALSE as BOOL_FALSE, TRUE as BOOL_TRUE, AndExpr, BoolExpr, Const, NotExpr, OrExpr, Var, XorExpr
 from ..logic.cube import Cover, Cube
 from ..ltl.ast import FALSE, TRUE, Always, Atom, Formula, Iff, Next, Not, conj, disj
 from ..rtl.fsm import FSM, extract_fsm
@@ -83,6 +84,25 @@ def cover_to_formula(cover: Cover) -> Formula:
     return disj(*(cube_to_formula(cube) for cube in cover))
 
 
+def _fold_constant(expr: BoolExpr) -> BoolExpr:
+    """Collapse semantically constant net functions via the active prop backend.
+
+    A driven net whose function is a tautology (or contradiction) in disguise
+    yields ``G(net <-> 1)`` / ``G(net <-> 0)`` instead of dragging the whole
+    syntactic expression into ``T_M``; the decision is delegated to the
+    active :class:`~repro.engines.prop.PropBackend`, so it stays cheap for
+    wide supports (BDD/SAT instead of a truth-table sweep).
+    """
+    if not expr.variables():
+        return expr
+    backend = active_prop_backend()
+    if backend.is_tautology(expr):
+        return BOOL_TRUE
+    if not backend.is_sat(expr):
+        return BOOL_FALSE
+    return expr
+
+
 def _output_constraints(module: Module) -> List[Formula]:
     """``G(out <-> f(...))`` for every combinationally-driven output."""
     constraints: List[Formula] = []
@@ -90,12 +110,21 @@ def _output_constraints(module: Module) -> List[Formula]:
         expr = module.assigns.get(output)
         if expr is None:
             continue
-        constraints.append(Always(Iff(Atom(output), boolexpr_to_formula(expr))))
+        constraints.append(Always(Iff(Atom(output), boolexpr_to_formula(_fold_constant(expr)))))
     return constraints
 
 
-def build_tm(module: Module, *, minimize_guards: bool = True) -> TMResult:
-    """Build the characteristic formula ``T_M`` of one concrete module."""
+def build_tm(module: Module, *, minimize_guards: bool = True, prop_backend: Optional[str] = None) -> TMResult:
+    """Build the characteristic formula ``T_M`` of one concrete module.
+
+    ``prop_backend`` (a :mod:`repro.engines.prop` backend name) is installed
+    for the duration of the build; ``None`` keeps the process-wide default.
+    """
+    with using_prop_backend(prop_backend):
+        return _build_tm(module, minimize_guards=minimize_guards)
+
+
+def _build_tm(module: Module, *, minimize_guards: bool) -> TMResult:
     start = time.perf_counter()
     module.validate(allow_undriven=True)
 
@@ -106,7 +135,7 @@ def build_tm(module: Module, *, minimize_guards: bool = True) -> TMResult:
         # mentioned elsewhere; include them so T_M is exact for the module.
         for name, expr in module.assigns.items():
             if name not in module.outputs:
-                constraints.append(Always(Iff(Atom(name), boolexpr_to_formula(expr))))
+                constraints.append(Always(Iff(Atom(name), boolexpr_to_formula(_fold_constant(expr)))))
         formula = conj(*constraints) if constraints else TRUE
         return TMResult(
             module_name=module.name,
@@ -131,7 +160,7 @@ def build_tm(module: Module, *, minimize_guards: bool = True) -> TMResult:
     # Internal combinational nets referenced by the interface or the registers.
     for name, expr in module.assigns.items():
         if name not in module.outputs:
-            parts.append(Always(Iff(Atom(name), boolexpr_to_formula(expr))))
+            parts.append(Always(Iff(Atom(name), boolexpr_to_formula(_fold_constant(expr)))))
     formula = conj(*parts)
     return TMResult(
         module_name=module.name,
@@ -142,15 +171,23 @@ def build_tm(module: Module, *, minimize_guards: bool = True) -> TMResult:
     )
 
 
-def build_tm_for_modules(modules: Sequence[Module], *, minimize_guards: bool = True) -> Tuple[Formula, List[TMResult], float]:
+def build_tm_for_modules(
+    modules: Sequence[Module],
+    *,
+    minimize_guards: bool = True,
+    prop_backend: Optional[str] = None,
+) -> Tuple[Formula, List[TMResult], float]:
     """``T_M`` for a set of concurrent modules: the conjunction of each ``T_Mi``.
 
     Returns ``(conjunction, per-module results, total build time in seconds)``.
+    ``prop_backend`` selects the propositional backend used while building
+    (constant folding of net functions); ``None`` keeps the active default.
     """
     results: List[TMResult] = []
     start = time.perf_counter()
-    for module in modules:
-        results.append(build_tm(module, minimize_guards=minimize_guards))
+    with using_prop_backend(prop_backend):
+        for module in modules:
+            results.append(_build_tm(module, minimize_guards=minimize_guards))
     total = time.perf_counter() - start
     formula = conj(*(result.formula for result in results)) if results else TRUE
     return formula, results, total

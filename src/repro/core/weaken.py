@@ -26,7 +26,10 @@ Every candidate is then
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .coverage import CoverageOptions
 
 from ..ltl.ast import And, Atom, Formula, Next, Not, Or
 from ..ltl.printer import to_str
@@ -72,16 +75,22 @@ def generate_candidates(
     formula: Formula,
     suggestions: Sequence[WeakeningSuggestion],
     *,
-    include_negated_literals: bool = True,
-    max_candidates: int = 64,
+    include_negated_literals: Optional[bool] = None,
+    max_candidates: Optional[int] = None,
+    options: Optional["CoverageOptions"] = None,
 ) -> List[GapCandidate]:
     """Build candidate gap properties from the suggestions.
 
     For every suggestion the observed literal polarity is tried first; with
     ``include_negated_literals`` the opposite polarity is also generated (the
     paper's ``phi'``/``phi''`` pair) so that whichever half is uncovered can be
-    reported.
+    reported.  A :class:`CoverageOptions` can be passed instead of the
+    individual tunables; an explicitly passed tunable wins over ``options``.
     """
+    if include_negated_literals is None:
+        include_negated_literals = options.include_negated_literals if options else True
+    if max_candidates is None:
+        max_candidates = options.max_candidates if options else 64
     candidates: List[GapCandidate] = []
     seen = set()
     for suggestion in suggestions:
@@ -118,15 +127,19 @@ def select_weakest(
     closes_gap: Callable[[Formula], bool],
     *,
     require_weaker: bool = True,
-    max_reported: int = 4,
+    max_reported: Optional[int] = None,
+    options: Optional["CoverageOptions"] = None,
 ) -> List[GapCandidate]:
     """Filter candidates to the weakest ones that close the coverage gap.
 
     ``closes_gap`` is the model-relative Theorem-1 check supplied by the
     coverage driver.  Candidates that are not implied by the original property
     are discarded when ``require_weaker`` is set (they would strengthen the
-    intent rather than decompose it).
+    intent rather than decompose it).  ``max_reported`` falls back to
+    ``options.max_reported_gaps`` when not passed explicitly.
     """
+    if max_reported is None:
+        max_reported = options.max_reported_gaps if options else 4
     closing: List[GapCandidate] = []
     for candidate in candidates:
         if require_weaker:

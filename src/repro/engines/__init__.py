@@ -1,0 +1,64 @@
+"""Unified decision-backend layer.
+
+Every decision query of the pipeline funnels through one of two registries:
+
+* **propositional backends** (:mod:`repro.engines.prop`) answer boolean
+  validity / satisfiability / equivalence queries over
+  :class:`~repro.logic.boolexpr.BoolExpr` — via truth-table enumeration,
+  BDDs (:mod:`repro.logic.bdd`) or CDCL SAT (:mod:`repro.sat`), with an
+  ``auto`` policy that picks by support size;
+* **coverage engines** (:mod:`repro.engines.coverage`) answer the paper's
+  primary coverage question (Theorem 1) — via the explicit-state
+  product/nested-DFS engine (:mod:`repro.mc`) or the bounded SAT engine
+  (:mod:`repro.bmc`) — behind one ``check_primary(problem)`` interface.
+
+Both registries are string-keyed so the selection threads cleanly from the
+CLI (``--engine`` / ``--prop-backend``) and from
+:class:`~repro.core.coverage.CoverageOptions` down to the kernel.
+"""
+
+from .prop import (
+    AutoBackend,
+    BddBackend,
+    PropBackend,
+    SatBackend,
+    TruthTableBackend,
+    active_prop_backend,
+    get_prop_backend,
+    prop_backend_names,
+    register_prop_backend,
+    set_prop_backend,
+    using_prop_backend,
+)
+from .coverage import (
+    BmcEngine,
+    CoverageEngine,
+    EngineVerdict,
+    ExplicitEngine,
+    engine_from_options,
+    engine_names,
+    get_engine,
+    register_engine,
+)
+
+__all__ = [
+    "PropBackend",
+    "TruthTableBackend",
+    "BddBackend",
+    "SatBackend",
+    "AutoBackend",
+    "get_prop_backend",
+    "prop_backend_names",
+    "register_prop_backend",
+    "active_prop_backend",
+    "set_prop_backend",
+    "using_prop_backend",
+    "CoverageEngine",
+    "EngineVerdict",
+    "ExplicitEngine",
+    "BmcEngine",
+    "get_engine",
+    "engine_names",
+    "register_engine",
+    "engine_from_options",
+]

@@ -1,0 +1,227 @@
+"""Coverage engines: one interface over explicit-state MC and bounded SAT.
+
+Theorem 1 reduces the primary coverage question to one existential
+model-checking query — "is there a run of the concrete modules satisfying
+``!A`` and every RTL property?".  The repository ships two ways to answer it:
+
+* the **explicit** engine — Kripke × Büchi product and nested DFS
+  (:mod:`repro.mc.modelcheck`), complete on these finite designs;
+* the **bmc** engine — time-frame unrolling + Tseitin + CDCL
+  (:mod:`repro.bmc.engine`), refutation-complete: a witness is definitive,
+  while "no witness" only holds up to the bound.
+
+:class:`CoverageEngine` unifies them behind ``check_primary(problem)`` /
+``find_run(module, formulas)`` / ``is_covered_with(problem, extra)``, and the
+string registry (:func:`get_engine`) lets :mod:`repro.core` and the CLI pick
+an engine by name.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
+
+from ..ltl.ast import Formula, Not
+from ..ltl.traces import LassoTrace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a core import cycle
+    from ..core.spec import CoverageProblem
+    from ..rtl.netlist import Module
+
+__all__ = [
+    "EngineVerdict",
+    "CoverageEngine",
+    "ExplicitEngine",
+    "BmcEngine",
+    "register_engine",
+    "get_engine",
+    "engine_names",
+    "engine_from_options",
+]
+
+
+@dataclass
+class EngineVerdict:
+    """Engine-independent outcome of the primary coverage question.
+
+    ``complete`` records the strength of a *covered* verdict: the explicit
+    engine proves coverage outright, while BMC proves it only up to
+    ``bound``.  A *not covered* verdict is definitive for every engine (the
+    witness run is concrete).
+    """
+
+    problem_name: str
+    engine: str
+    covered: bool
+    complete: bool
+    witness: Optional[LassoTrace] = None
+    elapsed_seconds: float = 0.0
+    bound: Optional[int] = None
+    statistics: object = None
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.covered
+
+    def summary(self) -> str:
+        verdict = "covered" if self.covered else "NOT covered"
+        qualifier = "" if self.complete or not self.covered else f" up to bound {self.bound}"
+        return (
+            f"{self.problem_name}: {verdict}{qualifier} "
+            f"[{self.engine} engine, {self.elapsed_seconds:.3f} s]"
+        )
+
+
+def _query_formulas(
+    problem: "CoverageProblem",
+    architectural: Optional[Formula],
+    extra: Sequence[Formula] = (),
+) -> List[Formula]:
+    target = architectural if architectural is not None else problem.architectural_conjunction()
+    return [Not(target)] + problem.all_rtl_formulas() + list(extra)
+
+
+class CoverageEngine:
+    """Base class / protocol of the primary-coverage engines."""
+
+    name: str = "?"
+    #: True when a "covered" verdict is a full proof rather than bounded.
+    complete: bool = True
+
+    def find_run(self, module: "Module", formulas: Sequence[Formula]):
+        """Existential query: a run of ``module`` satisfying every formula.
+
+        Returns an object with ``satisfiable`` and ``witness`` attributes
+        (:class:`~repro.mc.modelcheck.ExistentialResult` or
+        :class:`~repro.bmc.engine.BMCResult`).
+        """
+        raise NotImplementedError
+
+    def check_primary(
+        self,
+        problem: "CoverageProblem",
+        *,
+        architectural: Optional[Formula] = None,
+    ) -> EngineVerdict:
+        """Theorem 1: does the RTL specification cover the intent?"""
+        problem.validate()
+        start = time.perf_counter()
+        result = self.find_run(
+            problem.composed_module(), _query_formulas(problem, architectural)
+        )
+        elapsed = time.perf_counter() - start
+        return EngineVerdict(
+            problem_name=problem.name,
+            engine=self.name,
+            covered=not result.satisfiable,
+            # A refutation (concrete witness) is definitive for every engine;
+            # only a *covered* verdict inherits the engine's boundedness.
+            complete=self.complete or result.satisfiable,
+            witness=result.witness,
+            elapsed_seconds=elapsed,
+            bound=getattr(result, "bound", None),
+            statistics=getattr(result, "statistics", None),
+        )
+
+    def is_covered_with(
+        self,
+        problem: "CoverageProblem",
+        extra_properties: Sequence[Formula],
+        *,
+        architectural: Optional[Formula] = None,
+    ) -> bool:
+        """Theorem 1 with candidate gap properties added to the RTL spec."""
+        result = self.find_run(
+            problem.composed_module(),
+            _query_formulas(problem, architectural, extra_properties),
+        )
+        return not result.satisfiable
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+class ExplicitEngine(CoverageEngine):
+    """Explicit-state product + nested-DFS engine (complete)."""
+
+    name = "explicit"
+    complete = True
+
+    def find_run(self, module: "Module", formulas: Sequence[Formula]):
+        from ..mc.modelcheck import find_run
+
+        return find_run(module, formulas)
+
+
+class BmcEngine(CoverageEngine):
+    """Bounded model checking engine (complete for refutation only)."""
+
+    name = "bmc"
+    complete = False
+
+    def __init__(self, *, max_bound: int = 12):
+        self.max_bound = max_bound
+
+    def find_run(self, module: "Module", formulas: Sequence[Formula]):
+        from ..bmc.engine import find_run_bmc
+
+        return find_run_bmc(module, formulas, max_bound=self.max_bound)
+
+
+# -- registry -----------------------------------------------------------------
+
+_ENGINES: Dict[str, Callable[..., CoverageEngine]] = {}
+_ALIASES = {"explicit": "explicit", "mc": "explicit", "nested-dfs": "explicit", "bmc": "bmc"}
+
+
+def register_engine(name: str, factory: Callable[..., CoverageEngine]) -> None:
+    """Register an engine factory; keyword arguments pass through lookups."""
+    _ENGINES[name] = factory
+    _ALIASES[name] = name
+
+
+register_engine("explicit", ExplicitEngine)
+register_engine("bmc", BmcEngine)
+
+
+def engine_names() -> tuple:
+    """The canonical registered engine names."""
+    return tuple(sorted(_ENGINES))
+
+
+def get_engine(name: str, **kwargs) -> CoverageEngine:
+    """Instantiate an engine by name (``explicit`` / ``bmc``, aliases accepted).
+
+    Keyword arguments are forwarded to the factory *filtered by its
+    signature*, so generic call sites can pass the whole tuning set
+    (``get_engine(options.engine, max_bound=options.bmc_max_bound)``) and each
+    engine picks up only the knobs it understands.
+    """
+    canonical = _ALIASES.get(name.lower()) if isinstance(name, str) else None
+    if canonical is None:
+        known = ", ".join(engine_names())
+        raise KeyError(f"unknown coverage engine {name!r} (known: {known})")
+    factory = _ENGINES[canonical]
+    if kwargs:
+        import inspect
+
+        parameters = inspect.signature(factory).parameters
+        if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()):
+            return factory(**kwargs)
+        return factory(**{k: v for k, v in kwargs.items() if k in parameters})
+    return factory()
+
+
+def engine_from_options(options) -> CoverageEngine:
+    """Resolve the engine selected by a :class:`CoverageOptions`-like object.
+
+    Reads the ``engine`` and ``bmc_max_bound`` attributes (duck-typed so the
+    core layer never has to import this module at class-definition time);
+    ``None`` selects the default explicit engine.
+    """
+    if options is None:
+        return get_engine("explicit")
+    return get_engine(
+        getattr(options, "engine", "explicit"),
+        max_bound=getattr(options, "bmc_max_bound", 12),
+    )

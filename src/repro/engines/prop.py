@@ -1,0 +1,306 @@
+"""Propositional decision backends.
+
+One protocol — :class:`PropBackend` — with three interchangeable
+implementations plus a size-directed ``auto`` policy:
+
+``table``
+    Exhaustive truth-table enumeration (the original reference semantics of
+    :mod:`repro.logic.boolexpr`).  Exact and simple, but ``O(2^n)``.
+``bdd``
+    Reduced ordered BDDs via :class:`~repro.logic.bdd.BDDManager`.  Validity
+    and equivalence become root-pointer comparisons after construction.
+``sat``
+    Tseitin encoding (:mod:`repro.sat.tseitin`) plus the CDCL solver
+    (:mod:`repro.sat.solver`).  Equivalence is an UNSAT check on the XOR of
+    the two sides.
+``auto``
+    Picks by support size: enumeration below :data:`TABLE_CUTOFF` variables,
+    BDDs up to :data:`BDD_CUTOFF`, SAT beyond.
+
+The module also owns the process-wide *active* backend that the module-level
+predicates of :mod:`repro.logic.boolexpr` (``is_tautology`` /
+``expr_equivalent`` / ``is_contradiction``) dispatch through; use
+:func:`set_prop_backend` or the :func:`using_prop_backend` context manager to
+change it.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, Optional, Protocol, Union, runtime_checkable
+
+from ..logic.boolexpr import (
+    BoolExpr,
+    all_assignments,
+    enumerate_equivalent,
+    enumerate_is_contradiction,
+    enumerate_is_tautology,
+    not_,
+    xor,
+)
+
+__all__ = [
+    "PropBackend",
+    "TruthTableBackend",
+    "BddBackend",
+    "SatBackend",
+    "AutoBackend",
+    "TABLE_CUTOFF",
+    "BDD_CUTOFF",
+    "register_prop_backend",
+    "get_prop_backend",
+    "prop_backend_names",
+    "active_prop_backend",
+    "set_prop_backend",
+    "using_prop_backend",
+]
+
+Assignment = Dict[str, bool]
+
+#: ``auto`` enumerates truth tables only below this many support variables.
+TABLE_CUTOFF = 8
+#: ``auto`` uses BDDs up to this many support variables, SAT beyond.
+BDD_CUTOFF = 24
+
+
+@runtime_checkable
+class PropBackend(Protocol):
+    """A decision procedure for propositional queries over :class:`BoolExpr`."""
+
+    name: str
+
+    def is_sat(self, expr: BoolExpr) -> bool:
+        """Does some assignment satisfy ``expr``?"""
+        ...
+
+    def is_tautology(self, expr: BoolExpr) -> bool:
+        """Does every assignment satisfy ``expr``?"""
+        ...
+
+    def equivalent(self, left: BoolExpr, right: BoolExpr) -> bool:
+        """Do ``left`` and ``right`` agree under every assignment?"""
+        ...
+
+    def model(self, expr: BoolExpr) -> Optional[Assignment]:
+        """A satisfying assignment over the support of ``expr``, or ``None``."""
+        ...
+
+
+class _BackendBase:
+    """Default derivations shared by the concrete backends."""
+
+    name = "?"
+
+    def is_sat(self, expr: BoolExpr) -> bool:
+        raise NotImplementedError
+
+    def model(self, expr: BoolExpr) -> Optional[Assignment]:
+        raise NotImplementedError
+
+    def is_tautology(self, expr: BoolExpr) -> bool:
+        return not self.is_sat(not_(expr))
+
+    def equivalent(self, left: BoolExpr, right: BoolExpr) -> bool:
+        if left is right:
+            return True
+        return not self.is_sat(xor(left, right))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+class TruthTableBackend(_BackendBase):
+    """Reference backend: exhaustive enumeration over the support."""
+
+    name = "table"
+
+    def is_sat(self, expr: BoolExpr) -> bool:
+        return not enumerate_is_contradiction(expr)
+
+    def is_tautology(self, expr: BoolExpr) -> bool:
+        return enumerate_is_tautology(expr)
+
+    def equivalent(self, left: BoolExpr, right: BoolExpr) -> bool:
+        if left is right:
+            return True
+        return enumerate_equivalent(left, right)
+
+    def model(self, expr: BoolExpr) -> Optional[Assignment]:
+        for assignment in all_assignments(sorted(expr.variables())):
+            if expr.evaluate(assignment):
+                return assignment
+        return None
+
+
+class BddBackend(_BackendBase):
+    """Canonical backend: build an ROBDD and inspect the root."""
+
+    name = "bdd"
+
+    def _build(self, expr: BoolExpr):
+        from ..logic.bdd import BDDManager
+
+        manager = BDDManager(sorted(expr.variables()))
+        return manager.from_expr(expr)
+
+    def is_sat(self, expr: BoolExpr) -> bool:
+        return not self._build(expr).is_false()
+
+    def is_tautology(self, expr: BoolExpr) -> bool:
+        return self._build(expr).is_true()
+
+    def equivalent(self, left: BoolExpr, right: BoolExpr) -> bool:
+        if left is right:
+            return True
+        from ..logic.bdd import BDDManager
+
+        manager = BDDManager(sorted(left.variables() | right.variables()))
+        return manager.from_expr(left).root == manager.from_expr(right).root
+
+    def model(self, expr: BoolExpr) -> Optional[Assignment]:
+        node = self._build(expr)
+        for cube in node.satisfying_cubes():
+            assignment = {name: False for name in expr.variables()}
+            assignment.update(dict(cube))
+            return assignment
+        return None
+
+
+class SatBackend(_BackendBase):
+    """Refutation backend: Tseitin encoding + CDCL search."""
+
+    name = "sat"
+
+    def _solve(self, expr: BoolExpr):
+        from ..sat.solver import solve
+        from ..sat.tseitin import encode_constraint
+
+        return solve(encode_constraint(expr))
+
+    def is_sat(self, expr: BoolExpr) -> bool:
+        return self._solve(expr).satisfiable
+
+    def model(self, expr: BoolExpr) -> Optional[Assignment]:
+        result = self._solve(expr)
+        if not result.satisfiable:
+            return None
+        return {name: result.value(name) for name in expr.variables()}
+
+
+class AutoBackend(_BackendBase):
+    """Support-size policy: table for tiny, BDD for medium, SAT for large.
+
+    The cutoffs are per-instance so callers can tune them; the defaults keep
+    the exponential reference sweep strictly below :data:`TABLE_CUTOFF`
+    variables.
+    """
+
+    name = "auto"
+
+    def __init__(
+        self,
+        *,
+        table_cutoff: int = TABLE_CUTOFF,
+        bdd_cutoff: int = BDD_CUTOFF,
+    ):
+        self.table_cutoff = table_cutoff
+        self.bdd_cutoff = bdd_cutoff
+        self._table = TruthTableBackend()
+        self._bdd = BddBackend()
+        self._sat = SatBackend()
+
+    def pick(self, variable_count: int) -> PropBackend:
+        """The delegate backend for a query over ``variable_count`` variables."""
+        if variable_count < self.table_cutoff:
+            return self._table
+        if variable_count <= self.bdd_cutoff:
+            return self._bdd
+        return self._sat
+
+    def is_sat(self, expr: BoolExpr) -> bool:
+        return self.pick(len(expr.variables())).is_sat(expr)
+
+    def is_tautology(self, expr: BoolExpr) -> bool:
+        return self.pick(len(expr.variables())).is_tautology(expr)
+
+    def equivalent(self, left: BoolExpr, right: BoolExpr) -> bool:
+        if left is right:
+            return True
+        joint = len(left.variables() | right.variables())
+        return self.pick(joint).equivalent(left, right)
+
+    def model(self, expr: BoolExpr) -> Optional[Assignment]:
+        return self.pick(len(expr.variables())).model(expr)
+
+
+# -- registry -----------------------------------------------------------------
+
+_FACTORIES: Dict[str, Callable[[], PropBackend]] = {}
+_ALIASES = {
+    "table": "table",
+    "truth-table": "table",
+    "truthtable": "table",
+    "tt": "table",
+    "bdd": "bdd",
+    "sat": "sat",
+    "auto": "auto",
+}
+
+
+def register_prop_backend(name: str, factory: Callable[[], PropBackend]) -> None:
+    """Register a backend factory under ``name`` (later lookups instantiate it)."""
+    _FACTORIES[name] = factory
+    _ALIASES[name] = name
+
+
+register_prop_backend("table", TruthTableBackend)
+register_prop_backend("bdd", BddBackend)
+register_prop_backend("sat", SatBackend)
+register_prop_backend("auto", AutoBackend)
+
+
+def prop_backend_names() -> tuple:
+    """The canonical registered backend names."""
+    return tuple(sorted(_FACTORIES))
+
+
+def get_prop_backend(name: Union[str, PropBackend]) -> PropBackend:
+    """Resolve a backend by name (aliases accepted) or pass an instance through."""
+    if not isinstance(name, str):
+        return name
+    canonical = _ALIASES.get(name.lower())
+    if canonical is None:
+        known = ", ".join(prop_backend_names())
+        raise KeyError(f"unknown propositional backend {name!r} (known: {known})")
+    return _FACTORIES[canonical]()
+
+
+# -- the active backend -------------------------------------------------------
+
+_active: PropBackend = AutoBackend()
+
+
+def active_prop_backend() -> PropBackend:
+    """The backend the module-level boolexpr predicates currently dispatch to."""
+    return _active
+
+
+def set_prop_backend(backend: Union[str, PropBackend]) -> PropBackend:
+    """Install a new active backend; returns the previous one."""
+    global _active
+    previous = _active
+    _active = get_prop_backend(backend)
+    return previous
+
+
+@contextmanager
+def using_prop_backend(backend: Union[str, PropBackend, None]) -> Iterator[PropBackend]:
+    """Temporarily switch the active backend (``None`` leaves it unchanged)."""
+    if backend is None:
+        yield _active
+        return
+    previous = set_prop_backend(backend)
+    try:
+        yield _active
+    finally:
+        set_prop_backend(previous)

@@ -1,23 +1,34 @@
-"""Boolean expression layer.
+"""Boolean expression layer: a hash-consed boolean kernel.
 
 Boolean expressions are the workhorse of the RTL substrate: combinational
 assignments, latch next-state functions, FSM transition guards and state
 labels are all :class:`BoolExpr` trees over named signals.
 
 The representation is a small immutable AST (``Var``, ``Const``, ``NotExpr``,
-``AndExpr``, ``OrExpr``, ``XorExpr``) with structural hashing so expressions
-can be used as dictionary keys and deduplicated.  Convenience operators are
-provided (``&``, ``|``, ``^``, ``~``) together with evaluation, substitution,
-cofactoring, constant-propagation simplification and truth-table utilities.
+``AndExpr``, ``OrExpr``, ``XorExpr``).  Nodes are **hash-consed**: every
+constructor interns through a global unique table (exactly like the unique
+table of the BDD manager in :mod:`repro.logic.bdd`), so structurally equal
+expressions are the *same object*.  That makes equality checks and dictionary
+lookups effectively O(1) on shared structure, turns expression trees into
+DAGs, and lets ``variables()``, ``substitute()`` and ``cofactor()`` memoise
+their results.
 
-The module is deliberately free of any BDD machinery; canonical reasoning
-lives in :mod:`repro.logic.bdd`.
+Convenience operators are provided (``&``, ``|``, ``^``, ``~``) together with
+evaluation, substitution, cofactoring, constant-propagation simplification and
+truth-table utilities.
+
+Decision procedures (:func:`is_tautology`, :func:`is_contradiction`,
+:func:`expr_equivalent`) dispatch through the active propositional backend of
+:mod:`repro.engines.prop` — truth-table enumeration, BDDs or CDCL SAT,
+selected globally or per :class:`~repro.core.coverage.CoverageOptions`.  The
+raw enumerating reference implementations remain available as
+:func:`enumerate_is_tautology` etc. and back the ``table`` backend.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Sequence, Tuple
+import weakref
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
 
 __all__ = [
     "BoolExpr",
@@ -43,18 +54,92 @@ __all__ = [
     "is_tautology",
     "is_contradiction",
     "minterms",
+    "enumerate_is_tautology",
+    "enumerate_is_contradiction",
+    "enumerate_equivalent",
+    "intern_stats",
+    "clear_expr_caches",
 ]
+
+
+# -- the unique table ---------------------------------------------------------
+#
+# One global table maps a structural key to the canonical node.  Keys hash the
+# *children's identities* (children are themselves interned), so building a
+# node costs O(arity) regardless of expression depth.  Values are held weakly
+# (à la the classic hash-consing discipline): a node no longer reachable from
+# user code is collected and its table entry — whose key tuple holds the only
+# remaining strong references to the children — disappears with it, so the
+# table tracks the live working set instead of growing monotonically.
+
+_UNIQUE: "weakref.WeakValueDictionary[tuple, BoolExpr]" = weakref.WeakValueDictionary()
+
+# Memoisation caches for the derived operations.  They are correct forever
+# (expressions are immutable).  Unlike the unique table they hold *strong*
+# references, so cached nodes (and their sub-DAGs) stay pinned until the size
+# cap is hit, at which point the whole cache is dropped and memoisation
+# restarts cold — a deliberate bounded-memory / recompute trade-off.
+_COFACTOR_CACHE: Dict[Tuple["BoolExpr", str, bool], "BoolExpr"] = {}
+_SIMPLIFY_CACHE: Dict["BoolExpr", "BoolExpr"] = {}
+_CACHE_LIMIT = 1 << 17
+
+
+def _cache_guard(cache: dict) -> None:
+    if len(cache) >= _CACHE_LIMIT:
+        cache.clear()
+
+
+def intern_stats() -> Dict[str, int]:
+    """Sizes of the unique table and the memoisation caches (for tests/tuning)."""
+    return {
+        "unique_nodes": len(_UNIQUE),
+        "cofactor_cache": len(_COFACTOR_CACHE),
+        "simplify_cache": len(_SIMPLIFY_CACHE),
+    }
+
+
+def clear_expr_caches() -> None:
+    """Drop the derived-operation caches (the unique table itself is kept).
+
+    The unique table is deliberately *not* cleared: discarding entries for
+    live nodes would let two structurally equal nodes coexist, silently
+    degrading the interning guarantee (``a is b``).  Dead nodes already leave
+    the table on their own — it holds its values weakly.
+    """
+    _COFACTOR_CACHE.clear()
+    _SIMPLIFY_CACHE.clear()
 
 
 class BoolExpr:
     """Base class of all boolean expression nodes.
 
-    Instances are immutable and hashable; subclasses are small frozen
-    dataclasses.  The operator overloads build new nodes with light
-    constant folding (``x & TRUE`` returns ``x``).
+    Instances are immutable, interned and hashable.  The operator overloads
+    build new nodes with light constant folding (``x & TRUE`` returns ``x``).
     """
 
-    __slots__ = ()
+    __slots__ = ("_hash", "_vars", "__weakref__")
+
+    def __setattr__(self, name: str, value) -> None:
+        raise AttributeError(f"{type(self).__name__} instances are immutable")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(f"{type(self).__name__} instances are immutable")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    # Interned nodes are canonical: structural equality is object identity.
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __ne__(self, other: object) -> bool:
+        return self is not other
+
+    def __copy__(self) -> "BoolExpr":
+        return self
+
+    def __deepcopy__(self, memo) -> "BoolExpr":
+        return self
 
     # -- operator overloads -------------------------------------------------
     def __and__(self, other: "BoolExpr") -> "BoolExpr":
@@ -79,16 +164,38 @@ class BoolExpr:
         raise NotImplementedError
 
     def variables(self) -> FrozenSet[str]:
-        """Return the set of variable names appearing in the expression."""
+        """Return the set of variable names appearing in the expression (memoised)."""
+        cached = self._vars
+        if cached is None:
+            cached = self._compute_variables()
+            object.__setattr__(self, "_vars", cached)
+        return cached
+
+    def _compute_variables(self) -> FrozenSet[str]:
         raise NotImplementedError
 
     def substitute(self, mapping: Mapping[str, "BoolExpr"]) -> "BoolExpr":
-        """Simultaneously substitute variables by expressions."""
+        """Simultaneously substitute variables by expressions.
+
+        Substitution runs over the shared DAG with a per-call memo, so a
+        sub-expression occurring many times is rewritten once.
+        """
+        if not mapping:
+            return self
+        return _substitute(self, mapping, {})
+
+    def _substitute(self, mapping: Mapping[str, "BoolExpr"], memo: dict) -> "BoolExpr":
         raise NotImplementedError
 
     def cofactor(self, name: str, value: bool) -> "BoolExpr":
         """Shannon cofactor: substitute ``name`` by a constant and simplify."""
-        return self.substitute({name: const(value)}).simplify()
+        key = (self, name, bool(value))
+        cached = _COFACTOR_CACHE.get(key)
+        if cached is None:
+            cached = self.substitute({name: const(value)}).simplify()
+            _cache_guard(_COFACTOR_CACHE)
+            _COFACTOR_CACHE[key] = cached
+        return cached
 
     def simplify(self) -> "BoolExpr":
         """Constant propagation and local simplification (not canonical)."""
@@ -102,13 +209,48 @@ class BoolExpr:
         raise NotImplementedError
 
 
-@dataclass(frozen=True)
+def _substitute(expr: BoolExpr, mapping: Mapping[str, BoolExpr], memo: dict) -> BoolExpr:
+    cached = memo.get(expr)
+    if cached is None:
+        cached = expr._substitute(mapping, memo)
+        memo[expr] = cached
+    return cached
+
+
+def _intern(cls, payload, factory) -> "BoolExpr":
+    key = (cls, payload)
+    node = _UNIQUE.get(key)
+    if node is None:
+        node = factory(key)
+        _UNIQUE[key] = node
+    return node
+
+
+def _new_node(cls, key) -> "BoolExpr":
+    node = object.__new__(cls)
+    object.__setattr__(node, "_hash", hash(key))
+    object.__setattr__(node, "_vars", None)
+    return node
+
+
 class Var(BoolExpr):
     """A named boolean signal."""
 
-    name: str
-
     __slots__ = ("name",)
+
+    def __new__(cls, name: str):
+        def build(key):
+            node = _new_node(cls, key)
+            object.__setattr__(node, "name", name)
+            return node
+
+        return _intern(cls, name, build)
+
+    def __repr__(self) -> str:
+        return f"Var(name={self.name!r})"
+
+    def __reduce__(self):
+        return (Var, (self.name,))
 
     def evaluate(self, assignment: Mapping[str, bool]) -> bool:
         try:
@@ -116,61 +258,91 @@ class Var(BoolExpr):
         except KeyError as exc:
             raise KeyError(f"no value for variable {self.name!r}") from exc
 
-    def variables(self) -> FrozenSet[str]:
+    def _compute_variables(self) -> FrozenSet[str]:
         return frozenset({self.name})
 
-    def substitute(self, mapping: Mapping[str, BoolExpr]) -> BoolExpr:
+    def _substitute(self, mapping: Mapping[str, BoolExpr], memo: dict) -> BoolExpr:
         return mapping.get(self.name, self)
 
     def to_str(self) -> str:
         return self.name
 
 
-@dataclass(frozen=True)
 class Const(BoolExpr):
     """A boolean constant (``TRUE`` / ``FALSE``)."""
 
-    value: bool
-
     __slots__ = ("value",)
+
+    def __new__(cls, value: bool):
+        value = bool(value)
+
+        def build(key):
+            node = _new_node(cls, key)
+            object.__setattr__(node, "value", value)
+            return node
+
+        return _intern(cls, value, build)
+
+    def __repr__(self) -> str:
+        return f"Const(value={self.value!r})"
+
+    def __reduce__(self):
+        return (Const, (self.value,))
 
     def evaluate(self, assignment: Mapping[str, bool]) -> bool:
         return self.value
 
-    def variables(self) -> FrozenSet[str]:
+    def _compute_variables(self) -> FrozenSet[str]:
         return frozenset()
 
-    def substitute(self, mapping: Mapping[str, BoolExpr]) -> BoolExpr:
+    def _substitute(self, mapping: Mapping[str, BoolExpr], memo: dict) -> BoolExpr:
         return self
 
     def to_str(self) -> str:
         return "1" if self.value else "0"
 
 
-@dataclass(frozen=True)
 class NotExpr(BoolExpr):
     """Logical negation."""
 
-    operand: BoolExpr
-
     __slots__ = ("operand",)
+
+    def __new__(cls, operand: BoolExpr):
+        def build(key):
+            node = _new_node(cls, key)
+            object.__setattr__(node, "operand", operand)
+            return node
+
+        return _intern(cls, operand, build)
+
+    def __repr__(self) -> str:
+        return f"NotExpr(operand={self.operand!r})"
+
+    def __reduce__(self):
+        return (NotExpr, (self.operand,))
 
     def evaluate(self, assignment: Mapping[str, bool]) -> bool:
         return not self.operand.evaluate(assignment)
 
-    def variables(self) -> FrozenSet[str]:
+    def _compute_variables(self) -> FrozenSet[str]:
         return self.operand.variables()
 
-    def substitute(self, mapping: Mapping[str, BoolExpr]) -> BoolExpr:
-        return not_(self.operand.substitute(mapping))
+    def _substitute(self, mapping: Mapping[str, BoolExpr], memo: dict) -> BoolExpr:
+        return not_(_substitute(self.operand, mapping, memo))
 
     def simplify(self) -> BoolExpr:
-        inner = self.operand.simplify()
-        if isinstance(inner, Const):
-            return const(not inner.value)
-        if isinstance(inner, NotExpr):
-            return inner.operand
-        return not_(inner)
+        cached = _SIMPLIFY_CACHE.get(self)
+        if cached is None:
+            inner = self.operand.simplify()
+            if isinstance(inner, Const):
+                cached = const(not inner.value)
+            elif isinstance(inner, NotExpr):
+                cached = inner.operand
+            else:
+                cached = not_(inner)
+            _cache_guard(_SIMPLIFY_CACHE)
+            _SIMPLIFY_CACHE[self] = cached
+        return cached
 
     def to_str(self) -> str:
         inner = self.operand
@@ -179,17 +351,30 @@ class NotExpr(BoolExpr):
         return f"!({inner.to_str()})"
 
 
-@dataclass(frozen=True)
 class _NaryExpr(BoolExpr):
     """Shared implementation of associative n-ary connectives."""
-
-    operands: Tuple[BoolExpr, ...]
 
     __slots__ = ("operands",)
 
     _symbol = "?"
 
-    def variables(self) -> FrozenSet[str]:
+    def __new__(cls, operands: Iterable[BoolExpr]):
+        operands = tuple(operands)
+
+        def build(key):
+            node = _new_node(cls, key)
+            object.__setattr__(node, "operands", operands)
+            return node
+
+        return _intern(cls, operands, build)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(operands={self.operands!r})"
+
+    def __reduce__(self):
+        return (type(self), (self.operands,))
+
+    def _compute_variables(self) -> FrozenSet[str]:
         names: FrozenSet[str] = frozenset()
         for operand in self.operands:
             names = names | operand.variables()
@@ -215,11 +400,16 @@ class AndExpr(_NaryExpr):
     def evaluate(self, assignment: Mapping[str, bool]) -> bool:
         return all(operand.evaluate(assignment) for operand in self.operands)
 
-    def substitute(self, mapping: Mapping[str, BoolExpr]) -> BoolExpr:
-        return and_(*(operand.substitute(mapping) for operand in self.operands))
+    def _substitute(self, mapping: Mapping[str, BoolExpr], memo: dict) -> BoolExpr:
+        return and_(*(_substitute(operand, mapping, memo) for operand in self.operands))
 
     def simplify(self) -> BoolExpr:
-        return and_(*(operand.simplify() for operand in self.operands))
+        cached = _SIMPLIFY_CACHE.get(self)
+        if cached is None:
+            cached = and_(*(operand.simplify() for operand in self.operands))
+            _cache_guard(_SIMPLIFY_CACHE)
+            _SIMPLIFY_CACHE[self] = cached
+        return cached
 
 
 class OrExpr(_NaryExpr):
@@ -232,11 +422,16 @@ class OrExpr(_NaryExpr):
     def evaluate(self, assignment: Mapping[str, bool]) -> bool:
         return any(operand.evaluate(assignment) for operand in self.operands)
 
-    def substitute(self, mapping: Mapping[str, BoolExpr]) -> BoolExpr:
-        return or_(*(operand.substitute(mapping) for operand in self.operands))
+    def _substitute(self, mapping: Mapping[str, BoolExpr], memo: dict) -> BoolExpr:
+        return or_(*(_substitute(operand, mapping, memo) for operand in self.operands))
 
     def simplify(self) -> BoolExpr:
-        return or_(*(operand.simplify() for operand in self.operands))
+        cached = _SIMPLIFY_CACHE.get(self)
+        if cached is None:
+            cached = or_(*(operand.simplify() for operand in self.operands))
+            _cache_guard(_SIMPLIFY_CACHE)
+            _SIMPLIFY_CACHE[self] = cached
+        return cached
 
 
 class XorExpr(_NaryExpr):
@@ -249,11 +444,16 @@ class XorExpr(_NaryExpr):
     def evaluate(self, assignment: Mapping[str, bool]) -> bool:
         return sum(1 for operand in self.operands if operand.evaluate(assignment)) % 2 == 1
 
-    def substitute(self, mapping: Mapping[str, BoolExpr]) -> BoolExpr:
-        return xor(*(operand.substitute(mapping) for operand in self.operands))
+    def _substitute(self, mapping: Mapping[str, BoolExpr], memo: dict) -> BoolExpr:
+        return xor(*(_substitute(operand, mapping, memo) for operand in self.operands))
 
     def simplify(self) -> BoolExpr:
-        return xor(*(operand.simplify() for operand in self.operands))
+        cached = _SIMPLIFY_CACHE.get(self)
+        if cached is None:
+            cached = xor(*(operand.simplify() for operand in self.operands))
+            _cache_guard(_SIMPLIFY_CACHE)
+            _SIMPLIFY_CACHE[self] = cached
+        return cached
 
 
 TRUE = Const(True)
@@ -393,7 +593,15 @@ def truth_table(expr: BoolExpr, names: Sequence[str] | None = None) -> Dict[Tupl
     return table
 
 
-def expr_equivalent(left: BoolExpr, right: BoolExpr) -> bool:
+# -- decision procedures ------------------------------------------------------
+#
+# The module-level predicates route through the active propositional backend
+# (:mod:`repro.engines.prop`): truth-table enumeration for small supports,
+# BDDs or SAT beyond.  The ``enumerate_*`` functions are the exhaustive
+# reference implementations; the ``table`` backend delegates to them.
+
+
+def enumerate_equivalent(left: BoolExpr, right: BoolExpr) -> bool:
     """Semantic equivalence by exhaustive evaluation over the joint support."""
     names = sorted(left.variables() | right.variables())
     return all(
@@ -402,16 +610,37 @@ def expr_equivalent(left: BoolExpr, right: BoolExpr) -> bool:
     )
 
 
-def is_tautology(expr: BoolExpr) -> bool:
+def enumerate_is_tautology(expr: BoolExpr) -> bool:
     """True when the expression evaluates to true under every assignment."""
     names = sorted(expr.variables())
     return all(expr.evaluate(assignment) for assignment in all_assignments(names))
 
 
-def is_contradiction(expr: BoolExpr) -> bool:
+def enumerate_is_contradiction(expr: BoolExpr) -> bool:
     """True when the expression evaluates to false under every assignment."""
     names = sorted(expr.variables())
     return not any(expr.evaluate(assignment) for assignment in all_assignments(names))
+
+
+def expr_equivalent(left: BoolExpr, right: BoolExpr) -> bool:
+    """Semantic equivalence, decided by the active propositional backend."""
+    from ..engines.prop import active_prop_backend
+
+    return active_prop_backend().equivalent(left, right)
+
+
+def is_tautology(expr: BoolExpr) -> bool:
+    """Validity, decided by the active propositional backend."""
+    from ..engines.prop import active_prop_backend
+
+    return active_prop_backend().is_tautology(expr)
+
+
+def is_contradiction(expr: BoolExpr) -> bool:
+    """Unsatisfiability, decided by the active propositional backend."""
+    from ..engines.prop import active_prop_backend
+
+    return not active_prop_backend().is_sat(expr)
 
 
 def minterms(expr: BoolExpr, names: Sequence[str] | None = None) -> Iterator[Dict[str, bool]]:

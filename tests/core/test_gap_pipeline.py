@@ -121,6 +121,7 @@ class TestWeaken:
 
 
 class TestAlgorithm1:
+    @pytest.mark.slow
     def test_amba_starvation_gap_analysis(self, amba_problem, fast_options):
         target = amba_problem.architectural[1]  # G(hbusreq2 -> F hgrant2)
         analysis = find_coverage_gap(amba_problem, target, fast_options)
@@ -142,6 +143,7 @@ class TestAlgorithm1:
         assert analysis.gap_properties == []
         assert analysis.gap_seconds == 0.0
 
+    @pytest.mark.slow
     def test_report_rendering(self, amba_problem, fast_options):
         report = analyze_problem(amba_problem, fast_options)
         assert report.rtl_property_count == 29

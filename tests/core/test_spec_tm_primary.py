@@ -96,6 +96,23 @@ class TestTM:
 
         assert not is_satisfiable(conj(result.formula, bogus))
 
+    def test_semantically_constant_nets_fold_to_constants(self):
+        # A net function that is a contradiction (or tautology) in disguise
+        # must fold to G(net <-> false) / G(net <-> true) via the active
+        # propositional backend instead of crashing or dragging the full
+        # syntactic expression into T_M.
+        module = Module("fold")
+        module.add_input("x")
+        module.add_input("y")
+        module.add_output("never")
+        module.add_output("always")
+        module.add_assign("never", and_(or_(var("x"), var("y")), not_(var("x")), not_(var("y"))))
+        # A tautology that does not constant-fold at construction time.
+        module.add_assign("always", or_(var("x"), not_(and_(var("x"), var("y")))))
+        result = build_tm(module)
+        assert result.combinational
+        assert equivalent(result.formula, parse("G(!never) & G(always)"))
+
     def test_tm_for_modules_conjunction(self):
         formula, results, elapsed = build_tm_for_modules(
             [build_masking_glue_fig2(), build_cache_logic()]

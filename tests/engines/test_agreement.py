@@ -1,0 +1,125 @@
+"""Cross-engine agreement: every engine × prop-backend pair, identical verdicts.
+
+This promotes the invariant previously only exercised by
+``benchmarks/bench_backends.py`` into the tier-1 suite: on every catalogued
+design the explicit-state and the bounded SAT coverage engines — under every
+propositional backend — must return the catalogued coverage verdict.
+"""
+
+import pytest
+
+from repro.core import CoverageOptions, primary_coverage_check
+from repro.core.primary import is_covered_with
+from repro.designs import get_design
+from repro.engines import (
+    BmcEngine,
+    ExplicitEngine,
+    engine_names,
+    get_engine,
+    using_prop_backend,
+)
+
+_DESIGNS = ["mal_fig2", "mal_fig4", "paper_example"]
+_ENGINES = ["explicit", "bmc"]
+_PROP_BACKENDS = ["table", "bdd", "sat", "auto"]
+_BMC_BOUND = 6
+
+
+@pytest.fixture(scope="module")
+def problems():
+    return {name: get_design(name).builder() for name in _DESIGNS}
+
+
+class TestEngineRegistry:
+    def test_known_names(self):
+        assert set(engine_names()) == {"explicit", "bmc"}
+
+    def test_lookup_and_aliases(self):
+        assert isinstance(get_engine("explicit"), ExplicitEngine)
+        assert isinstance(get_engine("mc"), ExplicitEngine)
+        assert isinstance(get_engine("bmc"), BmcEngine)
+
+    def test_bmc_bound_forwarding(self):
+        assert get_engine("bmc", max_bound=4).max_bound == 4
+
+    def test_unknown_engine_raises(self):
+        with pytest.raises(KeyError):
+            get_engine("symbolic")
+
+    def test_explicit_ignores_bmc_kwargs(self):
+        assert isinstance(get_engine("explicit", max_bound=4), ExplicitEngine)
+
+
+@pytest.mark.parametrize("prop_backend", _PROP_BACKENDS)
+@pytest.mark.parametrize("engine", _ENGINES)
+@pytest.mark.parametrize("design", _DESIGNS)
+class TestMatrixAgreement:
+    def test_verdict_matches_catalog(self, problems, design, engine, prop_backend):
+        entry = get_design(design)
+        engine_instance = get_engine(engine, max_bound=_BMC_BOUND)
+        with using_prop_backend(prop_backend):
+            verdict = engine_instance.check_primary(problems[design])
+        assert verdict.covered == entry.expected_covered
+        assert verdict.engine == engine
+        # Witness runs accompany every negative verdict, for either engine;
+        # a refutation is definitive regardless of engine.
+        if not verdict.covered:
+            assert verdict.witness is not None
+            assert verdict.complete
+        else:
+            # A covered verdict is a full proof only for the complete engine.
+            assert verdict.complete == (engine == "explicit")
+
+
+class TestOptionsRouting:
+    """CoverageOptions carries the same selection through the core layer."""
+
+    @pytest.mark.parametrize("engine", _ENGINES)
+    def test_primary_coverage_check_routes_engine(self, problems, engine):
+        options = CoverageOptions(engine=engine, bmc_max_bound=_BMC_BOUND)
+        result = primary_coverage_check(problems["mal_fig4"], options=options)
+        assert not result.covered
+        assert result.engine == engine
+        # A refutation is definitive regardless of engine.
+        assert result.complete
+
+    def test_bounded_covered_verdict_is_incomplete(self, problems):
+        options = CoverageOptions(engine="bmc", bmc_max_bound=_BMC_BOUND)
+        result = primary_coverage_check(problems["mal_fig2"], options=options)
+        assert result.covered
+        assert not result.complete
+
+    @pytest.mark.parametrize("engine", _ENGINES)
+    def test_is_covered_with_routes_engine(self, problems, engine):
+        problem = problems["mal_fig4"]
+        options = CoverageOptions(engine=engine, bmc_max_bound=_BMC_BOUND)
+        # Adding the architectural intent itself always closes the gap.
+        closes = is_covered_with(
+            problem, [problem.architectural_conjunction()], options=options
+        )
+        assert closes
+
+    def test_engines_agree_on_gap_analysis(self, problems, fast_options):
+        from dataclasses import replace
+
+        from repro.core import find_coverage_gap
+
+        problem = problems["mal_fig4"]
+        architectural = problem.architectural[0]
+        explicit = find_coverage_gap(
+            problem, architectural, replace(fast_options, engine="explicit")
+        )
+        bounded = find_coverage_gap(
+            problem,
+            architectural,
+            replace(fast_options, engine="bmc", bmc_max_bound=_BMC_BOUND),
+        )
+        assert explicit.covered == bounded.covered == False  # noqa: E712
+        assert explicit.primary.engine == "explicit"
+        assert bounded.primary.engine == "bmc"
+        # Positive sub-verdicts (gap closure) are proofs on the complete
+        # engine, bounded on BMC — and the report says so.
+        assert explicit.complete
+        assert not bounded.complete
+        assert "bounded" not in explicit.describe()
+        assert "bounded" in bounded.describe()

@@ -14,12 +14,18 @@ a, b, c, d = var("a"), var("b"), var("c"), var("d")
 
 
 def _models_of_expr(expr, names):
-    """Set of satisfying assignments of a BoolExpr (projection on names)."""
+    """Set of satisfying assignments of a BoolExpr (projection on names).
+
+    Enumeration runs over the *full* support of the expression (plus any
+    requested names outside it) and projects onto ``names``, so a projection
+    onto a strict subset of the support is well-defined.
+    """
     from repro.logic.boolexpr import all_assignments
 
+    support = sorted(set(expr.variables()) | set(names))
     return {
         tuple(assignment[name] for name in names)
-        for assignment in all_assignments(names)
+        for assignment in all_assignments(support)
         if expr.evaluate(assignment)
     }
 
@@ -170,7 +176,10 @@ def test_tseitin_projected_models_match(expr):
     cnf = encode_constraint(expr)
     if cnf.variable_count() > 14:
         return  # keep the brute-force projection cheap
-    assert _models_of_cnf(cnf, names) <= _models_of_expr(expr, names) or True
+    # Tseitin gate variables are functionally determined by the circuit
+    # inputs, so projecting the CNF models onto any subset of the circuit
+    # variables yields exactly the projected models of the expression.
+    assert _models_of_cnf(cnf, names) == _models_of_expr(expr, names)
     # Exact equality on the full variable set of the expression:
     full_names = sorted(expr.variables())
     if full_names and cnf.variable_count() <= 14:
