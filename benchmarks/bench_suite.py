@@ -1,0 +1,90 @@
+"""Coverage-suite runner: parallel sharding + persistent-cache speedups.
+
+Three measurements over one job matrix (a catalog slice plus seeded random
+designs):
+
+1. **serial, cold cache** — the baseline every other mode is compared to;
+2. **parallel, cold cache** — sharding across a worker pool; wall-clock must
+   beat serial whenever the machine actually has more than one core;
+3. **serial, warm cache** — a rerun against the persistent cache; must replay
+   >= 90% of the queries and return identical verdicts.
+
+The cache assertions are deterministic and always enforced; the parallel
+speedup assertion is skipped on single-core machines (there is nothing to
+parallelise onto) and reported for the record otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.runner import expand_jobs, run_suite
+
+_DESIGNS = ["mal_fig2", "mal_fig4", "paper_example"]
+_RANDOM = dict(random_count=6, random_seed=2024)
+
+
+def _jobs():
+    return expand_jobs(_DESIGNS, **_RANDOM)
+
+
+def _cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-linux
+        return os.cpu_count() or 1
+
+
+def test_suite_warm_cache_speedup(tmp_path, capsys):
+    """Warm rerun: >= 90% hits, identical verdicts, and a real speedup."""
+    cache_dir = str(tmp_path / "cache")
+    jobs = _jobs()
+    cold = run_suite(jobs, workers=1, cache_dir=cache_dir)
+    warm = run_suite(jobs, workers=1, cache_dir=cache_dir)
+
+    assert cold.succeeded and warm.succeeded
+    assert warm.verdicts() == cold.verdicts()
+    assert warm.cache_hit_ratio >= 0.9, warm.cache_hit_ratio
+    assert warm.wall_seconds < cold.wall_seconds, (warm.wall_seconds, cold.wall_seconds)
+
+    with capsys.disabled():
+        print(
+            f"\n[bench_suite] {len(jobs)} shards: cold {cold.wall_seconds:.2f}s -> "
+            f"warm {warm.wall_seconds:.2f}s "
+            f"({cold.wall_seconds / max(warm.wall_seconds, 1e-9):.1f}x, "
+            f"{100 * warm.cache_hit_ratio:.0f}% hits)"
+        )
+
+
+def test_suite_parallel_matches_serial_verdicts(capsys):
+    """Sharding over workers must not change a single verdict."""
+    jobs = _jobs()
+    serial = run_suite(jobs, workers=1, use_cache=False)
+    parallel = run_suite(jobs, workers=4, use_cache=False)
+    assert serial.succeeded and parallel.succeeded
+    assert parallel.verdicts() == serial.verdicts()
+
+    speedup = serial.wall_seconds / max(parallel.wall_seconds, 1e-9)
+    with capsys.disabled():
+        print(
+            f"\n[bench_suite] parallel(4) {parallel.wall_seconds:.2f}s vs "
+            f"serial {serial.wall_seconds:.2f}s on {_cores()} core(s) "
+            f"({speedup:.2f}x)"
+        )
+
+
+@pytest.mark.slow
+def test_suite_parallel_beats_serial_on_multicore(tmp_path):
+    """The acceptance claim: --jobs 4 beats --jobs 1 wall-clock (multi-core only)."""
+    if _cores() < 2:
+        pytest.skip("single-core machine: nothing to parallelise onto")
+    jobs = expand_jobs(None, **_RANDOM)  # the full catalog
+    serial = run_suite(jobs, workers=1, use_cache=False)
+    parallel = run_suite(jobs, workers=4, use_cache=False)
+    assert parallel.verdicts() == serial.verdicts()
+    assert parallel.wall_seconds < serial.wall_seconds, (
+        parallel.wall_seconds,
+        serial.wall_seconds,
+    )

@@ -23,7 +23,11 @@ The package layers are:
   the ``T_M`` construction, the primary coverage question (Theorem 1), the
   coverage hole (Theorem 2), the gap-presentation Algorithm 1 and the
   spectrum baselines (pure intent coverage, full model checking),
-* :mod:`repro.designs` — the paper's example designs and the Table-1 suite.
+* :mod:`repro.runner` — the batch coverage-suite subsystem: sharded parallel
+  execution over a process pool plus a persistent structurally-keyed
+  decision-result cache,
+* :mod:`repro.designs` — the paper's example designs, the Table-1 suite and
+  seeded random design/spec generators.
 
 Quick start::
 
@@ -57,6 +61,7 @@ from .core import (
     format_report,
     format_table1,
 )
+from .runner import ResultCache, expand_jobs, run_suite, using_result_cache
 
 __version__ = "1.0.0"
 
@@ -87,5 +92,9 @@ __all__ = [
     "build_tm",
     "format_report",
     "format_table1",
+    "ResultCache",
+    "expand_jobs",
+    "run_suite",
+    "using_result_cache",
     "__version__",
 ]

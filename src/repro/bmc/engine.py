@@ -87,13 +87,49 @@ def find_run_bmc(
     *,
     max_bound: int = 12,
     min_bound: int = 0,
+    use_result_cache: bool = True,
 ) -> BMCResult:
     """Search for a lasso run of ``module`` satisfying every formula.
 
     Bounds are explored in increasing order; for each bound every loop
     position is tried.  The first satisfiable query yields the witness.
     An unsatisfiable result only means *no witness up to* ``max_bound``.
+
+    When a result cache is active (:mod:`repro.runner.cache`), the unrolled
+    query — module structure + formulas + bound window — is fingerprinted and
+    decided searches are replayed without touching the solver (the replayed
+    result carries empty solver statistics).  ``use_result_cache=False``
+    skips this layer; :class:`~repro.engines.coverage.BmcEngine` passes it
+    because the engine wrapper already caches the same query under its own
+    key (caching twice would double the fingerprinting and disk entries).
     """
+    from ..runner.cache import active_result_cache
+
+    cache = active_result_cache() if use_result_cache else None
+    cache_key = None
+    if cache is not None:
+        from ..runner.cache import query_key
+
+        cache_key = query_key(
+            "bmc-run",
+            module,
+            formulas,
+            engine="bmc",
+            backend="-",
+            bound=max_bound,
+            extra=(f"min_bound={min_bound}",),
+        )
+        payload = cache.get(cache_key)
+        if payload is not None:
+            from ..runner.cache import decode_trace
+
+            return BMCResult(
+                satisfiable=bool(payload["satisfiable"]),
+                bound=payload.get("bound", max_bound),
+                loop_start=payload.get("loop_start"),
+                witness=decode_trace(payload.get("witness")),
+            )
+
     start = time.perf_counter()
     statistics = BMCStatistics()
     unrolled = UnrolledModule(module, free_atoms=_free_atoms(module, formulas))
@@ -116,15 +152,32 @@ def find_run_bmc(
             if result.satisfiable:
                 states = unrolled.decode_states(result.assignment)
                 witness = LassoTrace.from_states(states, loop_start)
-                return BMCResult(
-                    True,
-                    bound,
-                    loop_start,
-                    witness,
-                    statistics,
-                    time.perf_counter() - start,
+                return _store_bmc(
+                    cache,
+                    cache_key,
+                    BMCResult(
+                        True,
+                        bound,
+                        loop_start,
+                        witness,
+                        statistics,
+                        time.perf_counter() - start,
+                    ),
                 )
-    return BMCResult(False, max_bound, None, None, statistics, time.perf_counter() - start)
+    return _store_bmc(
+        cache,
+        cache_key,
+        BMCResult(False, max_bound, None, None, statistics, time.perf_counter() - start),
+    )
+
+
+def _store_bmc(cache, cache_key, result: BMCResult) -> BMCResult:
+    """Record a freshly decided BMC search in the active cache (if any)."""
+    if cache is not None and cache_key is not None:
+        from ..runner.cache import encode_run_result
+
+        cache.put(cache_key, encode_run_result(result))
+    return result
 
 
 def check_bmc(

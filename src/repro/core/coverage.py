@@ -35,7 +35,14 @@ from .spec import CoverageProblem
 from .terms import UncoveredTerms, uncovered_terms
 from .weaken import GapCandidate, generate_candidates, select_weakest
 
-__all__ = ["CoverageOptions", "GapAnalysis", "CoverageReport", "find_coverage_gap", "analyze_problem"]
+__all__ = [
+    "CoverageOptions",
+    "GapAnalysis",
+    "CoverageReport",
+    "find_coverage_gap",
+    "analyze_problem",
+    "result_cache_context",
+]
 
 
 @dataclass
@@ -50,6 +57,13 @@ class CoverageOptions:
     default ``None`` keeps the process-wide active backend (``auto`` unless
     changed via :func:`repro.engines.set_prop_backend`), so a globally
     installed backend is respected.
+
+    ``cache_dir`` installs a persistent decision-result cache
+    (:mod:`repro.runner.cache`) for the duration of the analysis, so repeated
+    runs — and overlapping queries within one run — replay decided queries
+    instead of re-deciding them.  ``use_cache=False`` disables caching
+    entirely (including a process-wide active cache); the default ``None``
+    directory with ``use_cache=True`` keeps whatever cache is already active.
     """
 
     max_witnesses: int = 3
@@ -64,6 +78,8 @@ class CoverageOptions:
     engine: str = "explicit"
     prop_backend: Optional[str] = None
     bmc_max_bound: int = 12
+    cache_dir: Optional[str] = None
+    use_cache: bool = True
 
 
 @dataclass
@@ -162,8 +178,26 @@ def find_coverage_gap(
     engine and propositional backend selected by ``options``.
     """
     options = options or CoverageOptions()
-    with using_prop_backend(options.prop_backend):
+    with using_prop_backend(options.prop_backend), result_cache_context(options):
         return _find_coverage_gap(problem, architectural, options)
+
+
+def result_cache_context(options: "CoverageOptions"):
+    """The result-cache context selected by a :class:`CoverageOptions`.
+
+    ``use_cache=False`` masks any active cache; ``cache_dir`` installs the
+    process-wide cache bound to that directory; otherwise the currently active
+    cache (installed by the suite runner or a caller) is kept as-is.
+    """
+    from ..runner.cache import cache_for_dir, using_result_cache
+
+    if not options.use_cache:
+        return using_result_cache(None)
+    if options.cache_dir:
+        return using_result_cache(cache_for_dir(options.cache_dir))
+    from contextlib import nullcontext
+
+    return nullcontext()
 
 
 def _find_coverage_gap(

@@ -15,13 +15,21 @@ __all__ = ["DesignEntry", "CATALOG", "table1_designs", "get_design", "design_nam
 
 @dataclass(frozen=True)
 class DesignEntry:
-    """A named design with its builder and expected coverage verdict."""
+    """A named design with its builder and expected coverage verdict.
+
+    ``expected_covered`` is ``None`` when the verdict is unknown in advance
+    (randomly generated designs).  ``random_spec`` carries the
+    :class:`~repro.designs.random.RandomDesignSpec` of generated entries so
+    suite workers can rebuild the design from plain data instead of relying on
+    the parent process's catalog state.
+    """
 
     name: str
     builder: Callable[[], CoverageProblem]
-    expected_covered: bool
+    expected_covered: Optional[bool]
     description: str
     table1_row: Optional[str] = None
+    random_spec: Optional[object] = None
 
 
 CATALOG: Dict[str, DesignEntry] = {

@@ -92,9 +92,47 @@ class CoverageEngine:
         """Existential query: a run of ``module`` satisfying every formula.
 
         Returns an object with ``satisfiable`` and ``witness`` attributes
-        (:class:`~repro.mc.modelcheck.ExistentialResult` or
-        :class:`~repro.bmc.engine.BMCResult`).
+        (:class:`~repro.mc.modelcheck.ExistentialResult`,
+        :class:`~repro.bmc.engine.BMCResult` or a replayed
+        :class:`~repro.runner.cache.CachedRunResult`).
+
+        When a result cache is active (:mod:`repro.runner.cache`), the query
+        is fingerprinted — module structure + formulas + engine + active
+        propositional backend + bound — and decided queries are replayed
+        instead of re-run.  This is the "never re-answer a decided query"
+        choke point: the primary question, witness enumeration and every
+        closure check all pass through here.
         """
+        from ..runner.cache import active_result_cache
+
+        cache = active_result_cache()
+        if cache is None:
+            return self._find_run(module, formulas)
+
+        from ..runner.cache import CachedRunResult, encode_run_result, query_key
+        from .prop import active_prop_backend
+
+        key = query_key(
+            "engine-run",
+            module,
+            formulas,
+            engine=self.name,
+            backend=active_prop_backend().name,
+            bound=self._cache_bound(),
+        )
+        payload = cache.get(key)
+        if payload is not None:
+            return CachedRunResult.from_payload(payload)
+        result = self._find_run(module, formulas)
+        cache.put(key, encode_run_result(result))
+        return result
+
+    def _cache_bound(self) -> Optional[int]:
+        """The bound component of this engine's cache keys (``None`` = complete)."""
+        return None
+
+    def _find_run(self, module: "Module", formulas: Sequence[Formula]):
+        """Engine-specific uncached search (overridden by each engine)."""
         raise NotImplementedError
 
     def check_primary(
@@ -147,7 +185,7 @@ class ExplicitEngine(CoverageEngine):
     name = "explicit"
     complete = True
 
-    def find_run(self, module: "Module", formulas: Sequence[Formula]):
+    def _find_run(self, module: "Module", formulas: Sequence[Formula]):
         from ..mc.modelcheck import find_run
 
         return find_run(module, formulas)
@@ -162,10 +200,18 @@ class BmcEngine(CoverageEngine):
     def __init__(self, *, max_bound: int = 12):
         self.max_bound = max_bound
 
-    def find_run(self, module: "Module", formulas: Sequence[Formula]):
+    def _cache_bound(self) -> Optional[int]:
+        return self.max_bound
+
+    def _find_run(self, module: "Module", formulas: Sequence[Formula]):
         from ..bmc.engine import find_run_bmc
 
-        return find_run_bmc(module, formulas, max_bound=self.max_bound)
+        # The engine-level wrapper already caches this query under its own
+        # key; disable the raw-search layer so each decision is fingerprinted
+        # and persisted once.
+        return find_run_bmc(
+            module, formulas, max_bound=self.max_bound, use_result_cache=False
+        )
 
 
 # -- registry -----------------------------------------------------------------

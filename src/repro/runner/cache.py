@@ -1,0 +1,432 @@
+"""Persistent decision-result cache keyed by structural query fingerprints.
+
+PR 1's hash-consed kernel makes the *identity* of a boolean query cheap to
+compute inside one process; this module extends that idea across processes and
+across runs.  Every model-relative decision query — "is there a run of module
+``M`` satisfying formulas ``phi_1..phi_n`` on engine ``E`` with backend ``B``
+up to bound ``k``?" — is given a **stable structural fingerprint** (a SHA-256
+over a canonical linearisation of the netlist expressions and the LTL
+formulas), and the query's outcome (satisfiable / witness lasso / bound) is
+stored under that key:
+
+* **in memory**, so overlapping shards of one suite run never re-answer a
+  decided query, and
+* **on disk** (one JSON file per key, written atomically), so a warm rerun of
+  the whole coverage suite is nearly free and reports its hit ratio.
+
+Fingerprints are *structural*, not ``repr``-based: two modules with the same
+inputs/assigns/registers hash identically regardless of object identity or
+build order of the hash-consing tables, and the linearisation walks the
+expression DAG once per node (shared sub-DAGs are emitted once), so keying a
+query is linear in DAG size.
+
+The process-wide *active* cache mirrors the active propositional backend of
+:mod:`repro.engines.prop`: engines consult :func:`active_result_cache`, and
+the suite runner / :class:`~repro.core.coverage.CoverageOptions` install one
+via :func:`set_result_cache` / :func:`using_result_cache`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..logic.boolexpr import AndExpr, BoolExpr, Const, NotExpr, OrExpr, Var, XorExpr
+from ..ltl.ast import (
+    Always,
+    And,
+    Atom,
+    Eventually,
+    FalseFormula,
+    Formula,
+    Iff,
+    Implies,
+    Next,
+    Not,
+    Or,
+    Release,
+    TrueFormula,
+    Until,
+    WeakUntil,
+)
+from ..ltl.traces import LassoTrace
+
+__all__ = [
+    "expr_fingerprint",
+    "formula_fingerprint",
+    "module_fingerprint",
+    "query_key",
+    "encode_trace",
+    "decode_trace",
+    "encode_run_result",
+    "CachedRunResult",
+    "CacheStats",
+    "ResultCache",
+    "cache_for_dir",
+    "active_result_cache",
+    "set_result_cache",
+    "using_result_cache",
+]
+
+
+# -- structural fingerprints --------------------------------------------------
+
+
+def expr_fingerprint(expr: BoolExpr) -> str:
+    """Stable fingerprint of a :class:`BoolExpr` DAG (linear in DAG size).
+
+    Nodes are numbered in a deterministic post-order; each node contributes one
+    line naming its operator and the numbers of its children, so shared
+    sub-DAGs are serialised exactly once.  The result is independent of the
+    process, of ``PYTHONHASHSEED`` and of hash-consing table state.
+    """
+    memo: Dict[BoolExpr, int] = {}
+    lines: List[str] = []
+    stack: List[Tuple[BoolExpr, bool]] = [(expr, False)]
+    while stack:
+        node, processed = stack.pop()
+        if node in memo:
+            continue
+        children = _expr_children(node)
+        if not processed:
+            stack.append((node, True))
+            for child in reversed(children):
+                if child not in memo:
+                    stack.append((child, False))
+            continue
+        memo[node] = len(lines)
+        lines.append(_expr_line(node, [memo[child] for child in children]))
+    digest = hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()
+    return digest
+
+
+def _expr_children(node: BoolExpr) -> Tuple[BoolExpr, ...]:
+    if isinstance(node, NotExpr):
+        return (node.operand,)
+    if isinstance(node, (AndExpr, OrExpr, XorExpr)):
+        return node.operands
+    return ()
+
+
+def _expr_line(node: BoolExpr, child_ids: List[int]) -> str:
+    if isinstance(node, Var):
+        return f"v:{node.name}"
+    if isinstance(node, Const):
+        return f"c:{int(node.value)}"
+    if isinstance(node, NotExpr):
+        return f"!:{child_ids[0]}"
+    if isinstance(node, AndExpr):
+        return "&:" + ",".join(map(str, child_ids))
+    if isinstance(node, OrExpr):
+        return "|:" + ",".join(map(str, child_ids))
+    if isinstance(node, XorExpr):
+        return "^:" + ",".join(map(str, child_ids))
+    raise TypeError(f"cannot fingerprint expression of type {type(node).__name__}")
+
+
+_FORMULA_TAGS = {
+    TrueFormula: "true",
+    FalseFormula: "false",
+    Not: "!",
+    And: "&",
+    Or: "|",
+    Implies: "->",
+    Iff: "<->",
+    Next: "X",
+    Eventually: "F",
+    Always: "G",
+    Until: "U",
+    Release: "R",
+    WeakUntil: "W",
+}
+
+
+def formula_fingerprint(formula: Formula) -> str:
+    """Stable fingerprint of an LTL formula tree (iterative, memoised)."""
+    memo: Dict[Formula, int] = {}
+    lines: List[str] = []
+    stack: List[Tuple[Formula, bool]] = [(formula, False)]
+    while stack:
+        node, processed = stack.pop()
+        if node in memo:
+            continue
+        children = node.children()
+        if not processed:
+            stack.append((node, True))
+            for child in reversed(children):
+                if child not in memo:
+                    stack.append((child, False))
+            continue
+        memo[node] = len(lines)
+        if isinstance(node, Atom):
+            line = f"a:{node.name}"
+        else:
+            tag = _FORMULA_TAGS.get(type(node))
+            if tag is None:
+                raise TypeError(f"cannot fingerprint formula of type {type(node).__name__}")
+            line = tag + ":" + ",".join(str(memo[child]) for child in children)
+        lines.append(line)
+    return hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()
+
+
+def module_fingerprint(module) -> str:
+    """Stable fingerprint of a netlist :class:`~repro.rtl.netlist.Module`.
+
+    Covers the interface (input/output order is part of the module's identity)
+    and every driver: assigns and registers are serialised in sorted signal
+    order with the structural fingerprint of their expressions, so two
+    structurally identical modules key identically across processes.  The
+    module *name* is deliberately excluded.
+    """
+    lines = [
+        "in:" + ",".join(module.inputs),
+        "out:" + ",".join(module.outputs),
+    ]
+    for name in sorted(module.assigns):
+        lines.append(f"as:{name}={expr_fingerprint(module.assigns[name])}")
+    for name in sorted(module.registers):
+        register = module.registers[name]
+        lines.append(f"rg:{name}={expr_fingerprint(register.next_value)}:{int(register.init)}")
+    return hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()
+
+
+def query_key(
+    kind: str,
+    module,
+    formulas: Sequence[Formula],
+    *,
+    engine: str,
+    backend: str,
+    bound: Optional[int] = None,
+    extra: Sequence[str] = (),
+) -> str:
+    """The cache key of one decision query.
+
+    ``kind`` namespaces the query shape (engine-level run search, raw BMC
+    search, ...); ``engine``/``backend``/``bound`` make keys precise about the
+    decision procedure, so a bounded verdict can never shadow a complete one.
+    """
+    parts = [
+        f"kind={kind}",
+        f"engine={engine}",
+        f"backend={backend}",
+        f"bound={'-' if bound is None else bound}",
+        f"module={module_fingerprint(module)}",
+    ]
+    parts.extend(f"formula={formula_fingerprint(formula)}" for formula in formulas)
+    parts.extend(f"extra={item}" for item in extra)
+    return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
+
+
+# -- payload encoding ---------------------------------------------------------
+
+
+def encode_trace(trace: Optional[LassoTrace]) -> Optional[dict]:
+    """JSON-encodable form of a lasso witness (``None`` passes through)."""
+    if trace is None:
+        return None
+    return {
+        "stem": [dict(state) for state in trace.stem],
+        "loop": [dict(state) for state in trace.loop],
+    }
+
+
+def decode_trace(payload: Optional[dict]) -> Optional[LassoTrace]:
+    """Inverse of :func:`encode_trace`."""
+    if payload is None:
+        return None
+    return LassoTrace(payload["stem"], payload["loop"])
+
+
+def encode_run_result(result) -> dict:
+    """Encode any engine run result (explicit / BMC / cached) as a payload."""
+    return {
+        "satisfiable": bool(result.satisfiable),
+        "witness": encode_trace(result.witness),
+        "bound": getattr(result, "bound", None),
+        "loop_start": getattr(result, "loop_start", None),
+        "elapsed_seconds": float(getattr(result, "elapsed_seconds", 0.0)),
+    }
+
+
+@dataclass
+class CachedRunResult:
+    """A decided query replayed from the cache.
+
+    Duck-type compatible with :class:`~repro.mc.modelcheck.ExistentialResult`
+    and :class:`~repro.bmc.engine.BMCResult` where the engine layer needs it
+    (``satisfiable`` / ``witness`` / ``bound`` / ``statistics``).
+    """
+
+    satisfiable: bool
+    witness: Optional[LassoTrace] = None
+    bound: Optional[int] = None
+    loop_start: Optional[int] = None
+    statistics: object = None
+    elapsed_seconds: float = 0.0
+    cached: bool = True
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.satisfiable
+
+    @staticmethod
+    def from_payload(payload: dict) -> "CachedRunResult":
+        return CachedRunResult(
+            satisfiable=bool(payload["satisfiable"]),
+            witness=decode_trace(payload.get("witness")),
+            bound=payload.get("bound"),
+            loop_start=payload.get("loop_start"),
+            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+        )
+
+
+# -- the cache ----------------------------------------------------------------
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters of one :class:`ResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(self.hits, self.misses, self.stores)
+
+    def delta(self, earlier: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            self.hits - earlier.hits,
+            self.misses - earlier.misses,
+            self.stores - earlier.stores,
+        )
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ResultCache:
+    """Two-level (memory + optional directory) store of decided queries.
+
+    Disk entries live at ``<cache_dir>/<key[:2]>/<key>.json`` and are written
+    atomically (temp file + :func:`os.replace`), so concurrent suite workers
+    sharing a directory never observe torn writes — and because query results
+    are deterministic, two workers racing on the same key write identical
+    payloads.  Unreadable or corrupt entries are treated as misses.
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None):
+        self.cache_dir = os.path.abspath(cache_dir) if cache_dir else None
+        self._memory: Dict[str, dict] = {}
+        self.stats = CacheStats()
+        if self.cache_dir:
+            os.makedirs(self.cache_dir, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        assert self.cache_dir is not None
+        return os.path.join(self.cache_dir, key[:2], key + ".json")
+
+    def get(self, key: str) -> Optional[dict]:
+        """The stored payload for ``key``, or ``None`` (counted as hit/miss)."""
+        payload = self._memory.get(key)
+        if payload is None and self.cache_dir:
+            try:
+                with open(self._path(key), "r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+            except (OSError, ValueError):
+                payload = None
+            else:
+                self._memory[key] = payload
+        if payload is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return payload
+
+    def put(self, key: str, payload: dict) -> None:
+        """Store a payload in memory and (when configured) on disk."""
+        self._memory[key] = payload
+        self.stats.stores += 1
+        if not self.cache_dir:
+            return
+        path = self._path(key)
+        directory = os.path.dirname(path)
+        try:
+            os.makedirs(directory, exist_ok=True)
+            handle = tempfile.NamedTemporaryFile(
+                "w", dir=directory, prefix=".tmp-", suffix=".json", delete=False, encoding="utf-8"
+            )
+            with handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(handle.name, path)
+        except OSError:  # pragma: no cover - disk full / permissions
+            pass
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def disk_entry_count(self) -> int:
+        """Number of entries persisted under ``cache_dir`` (0 when memory-only)."""
+        if not self.cache_dir:
+            return 0
+        count = 0
+        for _, _, files in os.walk(self.cache_dir):
+            count += sum(1 for name in files if name.endswith(".json") and not name.startswith("."))
+        return count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = self.cache_dir or "memory"
+        return f"<ResultCache {where} entries={len(self._memory)} stats={self.stats}>"
+
+
+# One ResultCache per directory per process, so every consumer of the same
+# directory shares the in-memory layer (and its statistics).
+_DIR_CACHES: Dict[str, ResultCache] = {}
+
+
+def cache_for_dir(cache_dir: str) -> ResultCache:
+    """The process-wide :class:`ResultCache` bound to a cache directory."""
+    key = os.path.abspath(cache_dir)
+    cache = _DIR_CACHES.get(key)
+    if cache is None:
+        cache = ResultCache(key)
+        _DIR_CACHES[key] = cache
+    return cache
+
+
+# -- the active cache ---------------------------------------------------------
+
+_active: Optional[ResultCache] = None
+
+
+def active_result_cache() -> Optional[ResultCache]:
+    """The cache the engines currently consult (``None`` disables caching)."""
+    return _active
+
+
+def set_result_cache(cache: Optional[ResultCache]) -> Optional[ResultCache]:
+    """Install a new active cache (or ``None``); returns the previous one."""
+    global _active
+    previous = _active
+    _active = cache
+    return previous
+
+
+@contextmanager
+def using_result_cache(cache: Optional[ResultCache]) -> Iterator[Optional[ResultCache]]:
+    """Temporarily install ``cache`` as the active result cache."""
+    previous = set_result_cache(cache)
+    try:
+        yield cache
+    finally:
+        set_result_cache(previous)

@@ -1,0 +1,101 @@
+"""Rendering of suite results: text, JSON and markdown reports.
+
+The JSON shape is the machine contract used by CI (cache-effectiveness
+assertions) and by the benchmark harness; the markdown table is meant for
+dropping into PRs/issues; the text form is the default CLI output.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .suite import ShardResult, SuiteResult
+
+__all__ = ["suite_to_dict", "render_json", "render_markdown", "render_text"]
+
+
+def _verdict_text(shard: ShardResult) -> str:
+    if shard.status != "ok":
+        return shard.status.upper()
+    if shard.job.kind == "primary":
+        text = "covered" if shard.verdict else "gap"
+    else:
+        text = "observable" if shard.verdict else "dead"
+    if not shard.complete:
+        text += "*"  # bounded verdict (BMC below the diameter)
+    return text
+
+
+def suite_to_dict(result: SuiteResult) -> Dict[str, object]:
+    """The canonical JSON-ready representation of a suite run."""
+    counts = result.counts()
+    return {
+        "workers": result.workers,
+        "wall_seconds": round(result.wall_seconds, 4),
+        "shard_count": len(result.shards),
+        "counts": counts,
+        "cache": {
+            "enabled": result.cache_enabled,
+            "dir": result.cache_dir,
+            "hits": result.cache_hits,
+            "misses": result.cache_misses,
+            "hit_ratio": round(result.cache_hit_ratio, 4),
+        },
+        "verdicts": {job_id: verdict for job_id, verdict in sorted(result.verdicts().items())},
+        "shards": [shard.row() for shard in result.shards],
+    }
+
+
+def render_json(result: SuiteResult) -> str:
+    return json.dumps(suite_to_dict(result), indent=2, sort_keys=False)
+
+
+def render_markdown(result: SuiteResult) -> str:
+    lines: List[str] = [
+        "# Coverage suite report",
+        "",
+        f"- shards: {len(result.shards)} ({result.workers} worker(s), "
+        f"{result.wall_seconds:.2f} s wall)",
+        f"- cache: {'on' if result.cache_enabled else 'off'}"
+        + (f" ({result.cache_dir})" if result.cache_dir else "")
+        + f", {result.cache_hits} hits / {result.cache_misses} misses "
+        f"({100.0 * result.cache_hit_ratio:.1f}% hit ratio)",
+        "",
+        "| design | kind | target | verdict | time (s) | cache h/m |",
+        "|---|---|---|---|---:|---:|",
+    ]
+    for shard in result.shards:
+        lines.append(
+            f"| {shard.job.design} | {shard.job.kind} | {shard.job.target} "
+            f"| {_verdict_text(shard)} | {shard.elapsed_seconds:.3f} "
+            f"| {shard.cache_hits}/{shard.cache_misses} |"
+        )
+    return "\n".join(lines)
+
+
+def render_text(result: SuiteResult) -> str:
+    counts = result.counts()
+    lines: List[str] = [
+        f"== coverage suite: {len(result.shards)} shards, "
+        f"{result.workers} worker(s), {result.wall_seconds:.2f} s wall ==",
+    ]
+    width = max((len(shard.job.job_id) for shard in result.shards), default=0)
+    for shard in result.shards:
+        lines.append(
+            f"{shard.job.job_id:<{width}}  {_verdict_text(shard):<12} "
+            f"{shard.elapsed_seconds:7.3f} s  cache {shard.cache_hits}/{shard.cache_misses}"
+        )
+    lines.append(
+        f"status: {counts['ok']} ok, {counts['error']} error, {counts['timeout']} timeout"
+    )
+    if result.cache_enabled:
+        lines.append(
+            f"cache : {result.cache_hits} hits / {result.cache_misses} misses "
+            f"({100.0 * result.cache_hit_ratio:.1f}% hit ratio)"
+            + (f" at {result.cache_dir}" if result.cache_dir else " (in-memory)")
+        )
+    else:
+        lines.append("cache : disabled")
+    lines.append("(* = bounded verdict: holds up to the BMC bound only)")
+    return "\n".join(lines)

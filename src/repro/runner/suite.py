@@ -1,0 +1,380 @@
+"""Parallel sharded execution of the coverage suite.
+
+The built-in ``check``/``analyze``/``table1`` commands evaluate one design at
+a time, single-threaded.  This module restructures the workload instead of the
+solver: the (design × spec conjunct × observed signal × engine) matrix is
+expanded into independent **shards** (:class:`CoverageJob`), each answering one
+decision query, and the shards are executed on a
+:class:`~concurrent.futures.ProcessPoolExecutor` — or serially for debugging —
+with
+
+* **deterministic ordering**: jobs are sorted by their identity before
+  submission and results are assembled in submission order, so shard order
+  and every verdict are identical regardless of worker count or completion
+  order (timings and per-shard cache counters naturally vary between runs —
+  compare ``SuiteResult.verdicts()``, not raw reports);
+* **per-shard timeouts**: each shard runs under a ``SIGALRM`` watchdog inside
+  its worker, so one pathological query cannot stall the suite;
+* **result caching**: every worker installs the shared persistent
+  :class:`~repro.runner.cache.ResultCache`, so overlapping shards and repeated
+  suite runs replay decided queries (per-shard hit/miss deltas are reported).
+
+Shard kinds
+-----------
+``primary``
+    The paper's primary coverage question (Theorem 1) for *one* architectural
+    conjunct of a design.
+``signal``
+    Observability of one interface signal under the RTL specification: "is
+    there a run admitted by ``R`` on which the signal eventually rises?" — a
+    per-signal sanity query that catches dead interface signals and widens the
+    decided-query set the cache can reuse.
+"""
+
+from __future__ import annotations
+
+import os
+import signal as _signal
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.spec import CoverageProblem
+from ..designs.catalog import get_design
+from ..designs.random import RandomDesignSpec, random_problem
+from ..engines.coverage import get_engine
+from ..engines.prop import using_prop_backend
+from ..ltl.ast import Atom, Eventually
+from .cache import CacheStats, ResultCache, cache_for_dir, set_result_cache, using_result_cache
+
+__all__ = [
+    "CoverageJob",
+    "ShardResult",
+    "SuiteResult",
+    "expand_jobs",
+    "run_suite",
+]
+
+
+@dataclass(frozen=True)
+class CoverageJob:
+    """One shard of the coverage suite (plain data, picklable).
+
+    ``design`` names a catalog entry unless ``random_spec`` is set, in which
+    case the worker rebuilds the design deterministically from the spec — a
+    worker never depends on mutations of the parent's catalog.
+    """
+
+    design: str
+    kind: str  # "primary" | "signal"
+    target: str  # conjunct index (as text) or signal name
+    index: int  # architectural conjunct index (0 for signal shards)
+    engine: str = "explicit"
+    prop_backend: str = "auto"
+    bound: int = 12
+    random_spec: Optional[RandomDesignSpec] = None
+
+    @property
+    def job_id(self) -> str:
+        return f"{self.design}/{self.kind}/{self.target}"
+
+    def sort_key(self) -> Tuple[str, str, int, str]:
+        return (self.design, self.kind, self.index, self.target)
+
+    def problem(self) -> CoverageProblem:
+        """This shard's coverage problem (built once per design per process).
+
+        A design contributes one shard per conjunct plus one per interface
+        signal; memoising the build means the netlist construction — and, for
+        random designs, the rejection-sampling model checks — run once per
+        process instead of once per shard.  Shards only read the problem, so
+        sharing the instance is safe.
+        """
+        return _build_problem(self.design, self.random_spec)
+
+
+@lru_cache(maxsize=256)
+def _build_problem(design: str, random_spec: Optional[RandomDesignSpec]) -> CoverageProblem:
+    if random_spec is not None:
+        return random_problem(random_spec)
+    return get_design(design).builder()
+
+
+@dataclass
+class ShardResult:
+    """Outcome of one shard."""
+
+    job: CoverageJob
+    status: str  # "ok" | "error" | "timeout"
+    verdict: Optional[bool]  # primary: covered; signal: observable
+    complete: bool = True
+    elapsed_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    detail: str = ""
+    worker_pid: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def row(self) -> Dict[str, object]:
+        """JSON-ready representation (stable field order)."""
+        return {
+            "job": self.job.job_id,
+            "design": self.job.design,
+            "kind": self.job.kind,
+            "target": self.job.target,
+            "engine": self.job.engine,
+            "status": self.status,
+            "verdict": self.verdict,
+            "complete": self.complete,
+            "elapsed_seconds": round(self.elapsed_seconds, 4),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class SuiteResult:
+    """Aggregate outcome of one suite run."""
+
+    shards: List[ShardResult] = field(default_factory=list)
+    workers: int = 1
+    wall_seconds: float = 0.0
+    cache_enabled: bool = True
+    cache_dir: Optional[str] = None
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(shard.cache_hits for shard in self.shards)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(shard.cache_misses for shard in self.shards)
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def verdicts(self) -> Dict[str, Optional[bool]]:
+        """Job-id → verdict map (the reproducibility contract between runs)."""
+        return {shard.job.job_id: shard.verdict for shard in self.shards}
+
+    def counts(self) -> Dict[str, int]:
+        tally = {"ok": 0, "error": 0, "timeout": 0}
+        for shard in self.shards:
+            tally[shard.status] = tally.get(shard.status, 0) + 1
+        return tally
+
+    @property
+    def succeeded(self) -> bool:
+        return all(shard.ok for shard in self.shards)
+
+
+def expand_jobs(
+    designs: Optional[Sequence[str]] = None,
+    *,
+    engine: str = "explicit",
+    prop_backend: str = "auto",
+    bound: int = 12,
+    include_signals: bool = True,
+    random_count: int = 0,
+    random_seed: int = 0,
+    random_sizes: Optional[dict] = None,
+) -> List[CoverageJob]:
+    """Expand the catalog (plus random designs) into independent shards.
+
+    One ``primary`` shard per architectural conjunct of every design, plus one
+    ``signal`` shard per interface signal of its concrete modules.  The result
+    is sorted by job identity — the canonical, reproducible suite order.
+    """
+    from ..designs.catalog import design_names
+    from ..designs.random import random_design_entries
+
+    jobs: List[CoverageJob] = []
+
+    def add_design(name: str, problem: CoverageProblem, spec: Optional[RandomDesignSpec]) -> None:
+        common = dict(
+            design=name,
+            engine=engine,
+            prop_backend=prop_backend,
+            bound=bound,
+            random_spec=spec,
+        )
+        for index in range(len(problem.architectural)):
+            jobs.append(CoverageJob(kind="primary", target=str(index), index=index, **common))
+        if include_signals and problem.has_concrete_modules():
+            for signal_name in sorted(set(problem.composed_module().interface_signals())):
+                jobs.append(CoverageJob(kind="signal", target=signal_name, index=0, **common))
+
+    names = sorted(designs) if designs is not None else design_names()
+    for name in names:
+        spec = get_design(name).random_spec
+        add_design(name, _build_problem(name, spec), spec)
+    for entry in random_design_entries(random_count, random_seed, **(random_sizes or {})):
+        add_design(entry.name, _build_problem(entry.name, entry.random_spec), entry.random_spec)
+
+    return sorted(jobs, key=CoverageJob.sort_key)
+
+
+# -- shard execution ----------------------------------------------------------
+
+
+class _ShardTimeout(Exception):
+    """Raised inside a worker when a shard exceeds its time budget."""
+
+
+def _alarm_handler(signum, frame):  # pragma: no cover - exercised via timeouts
+    raise _ShardTimeout()
+
+
+def _answer(job: CoverageJob) -> Tuple[bool, bool, str]:
+    """Decide one shard; returns ``(verdict, complete, detail)``."""
+    problem = job.problem()
+    engine = get_engine(job.engine, max_bound=job.bound)
+    with using_prop_backend(job.prop_backend):
+        if job.kind == "primary":
+            verdict = engine.check_primary(
+                problem, architectural=problem.architectural[job.index]
+            )
+            return bool(verdict.covered), bool(verdict.complete), ""
+        if job.kind == "signal":
+            module = problem.composed_module()
+            formulas = problem.all_rtl_formulas() + [Eventually(Atom(job.target))]
+            result = engine.find_run(module, formulas)
+            observable = bool(result.satisfiable)
+            # "never observable" is definitive only on a complete engine.
+            return observable, engine.complete or observable, ""
+    raise ValueError(f"unknown shard kind {job.kind!r}")
+
+
+def execute_shard(job: CoverageJob, timeout: Optional[float] = None) -> ShardResult:
+    """Run one shard in the current process under the active result cache.
+
+    ``timeout`` (seconds) arms a ``SIGALRM`` watchdog where the platform
+    supports it; a fired watchdog yields a ``timeout`` shard instead of
+    aborting the suite.
+    """
+    cache = _current_cache()
+    before = cache.stats.snapshot() if cache else CacheStats()
+    start = time.perf_counter()
+    status, verdict, complete, detail = "ok", None, True, ""
+    import threading
+
+    use_alarm = (
+        timeout is not None
+        and timeout > 0
+        and hasattr(_signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    previous_handler = None
+    try:
+        # The timer is armed inside this try and disarmed in the *inner*
+        # finally, so an alarm firing at any point — even in the arming window
+        # before _answer starts, or just after it returns — lands in the
+        # except clause below and is recorded as a timeout instead of escaping
+        # and killing the suite.  Once the inner finally completes no further
+        # alarm can fire, so the except bodies run unarmed.
+        if use_alarm:
+            previous_handler = _signal.signal(_signal.SIGALRM, _alarm_handler)
+            _signal.setitimer(_signal.ITIMER_REAL, timeout)
+        try:
+            verdict, complete, detail = _answer(job)
+        finally:
+            if use_alarm:
+                _signal.setitimer(_signal.ITIMER_REAL, 0)
+    except _ShardTimeout:
+        status, detail = "timeout", f"exceeded {timeout:.1f}s"
+    except Exception as exc:  # noqa: BLE001 - a shard failure must not kill the suite
+        status, detail = "error", f"{type(exc).__name__}: {exc}"
+    finally:
+        if previous_handler is not None:
+            _signal.signal(_signal.SIGALRM, previous_handler)
+    elapsed = time.perf_counter() - start
+    delta = cache.stats.delta(before) if cache else CacheStats()
+    return ShardResult(
+        job=job,
+        status=status,
+        verdict=verdict if status == "ok" else None,
+        complete=complete,
+        elapsed_seconds=elapsed,
+        cache_hits=delta.hits,
+        cache_misses=delta.misses,
+        detail=detail,
+        worker_pid=os.getpid(),
+    )
+
+
+def _current_cache() -> Optional[ResultCache]:
+    from .cache import active_result_cache
+
+    return active_result_cache()
+
+
+def _select_cache(cache_dir: Optional[str], use_cache: bool) -> Optional[ResultCache]:
+    """The cache a suite run (or worker) should use.
+
+    Without a directory, an already-active cache is *reused* (matching
+    :func:`repro.core.coverage.result_cache_context` semantics: a caller who
+    installed a cache keeps its warm entries) and only falls back to a fresh
+    in-memory cache when none is active.
+    """
+    if not use_cache:
+        return None
+    if cache_dir:
+        return cache_for_dir(cache_dir)
+    from .cache import active_result_cache
+
+    return active_result_cache() or ResultCache()
+
+
+def _worker_init(cache_dir: Optional[str], use_cache: bool) -> None:
+    """Per-worker setup: install the (shared-directory) result cache."""
+    set_result_cache(_select_cache(cache_dir, use_cache))
+
+
+def _worker_shard(job: CoverageJob, timeout: Optional[float]) -> ShardResult:
+    return execute_shard(job, timeout)
+
+
+def run_suite(
+    jobs: Sequence[CoverageJob],
+    *,
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+    shard_timeout: Optional[float] = None,
+) -> SuiteResult:
+    """Execute the shards and assemble a :class:`SuiteResult`.
+
+    ``workers <= 1`` runs serially in-process (the debugging fallback: plain
+    tracebacks, no subprocesses); otherwise shards are distributed over a
+    process pool whose workers share the persistent cache directory.  Results
+    are always assembled in canonical job order.
+    """
+    ordered = sorted(jobs, key=CoverageJob.sort_key)
+    start = time.perf_counter()
+    if workers <= 1:
+        with using_result_cache(_select_cache(cache_dir, use_cache)):
+            shards = [execute_shard(job, shard_timeout) for job in ordered]
+    else:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker_init,
+            initargs=(cache_dir, use_cache),
+        ) as pool:
+            futures = [pool.submit(_worker_shard, job, shard_timeout) for job in ordered]
+            shards = [future.result() for future in futures]
+    wall = time.perf_counter() - start
+    return SuiteResult(
+        shards=shards,
+        workers=max(1, workers),
+        wall_seconds=wall,
+        cache_enabled=use_cache,
+        cache_dir=os.path.abspath(cache_dir) if cache_dir else None,
+    )
