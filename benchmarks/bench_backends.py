@@ -1,19 +1,29 @@
 """Ablation: the engine × prop-backend matrix for the primary coverage question.
 
 Theorem 1 reduces the coverage question to one model-checking query on the
-concrete modules.  The tool ships two coverage engines for that query — the
-explicit-state product/nested-DFS engine (:mod:`repro.mc`) and the bounded
-SAT-based engine (:mod:`repro.bmc`) — and three propositional decision
+concrete modules.  The tool ships three coverage engines for that query — the
+explicit-state product/nested-DFS engine (:mod:`repro.mc`), the bounded
+SAT-based engine (:mod:`repro.bmc`) and the fully symbolic BDD fixpoint
+engine (:mod:`repro.mc.symbolic`) — and three propositional decision
 backends (truth table / BDD / CDCL SAT) behind the :mod:`repro.engines`
 registries.  This benchmark runs the *full matrix* on every catalogued design
 and checks all combinations agree; the per-cell timings show the trade-offs
 (the explicit engine is complete; BMC pays per-bound SAT calls but touches
-only the behaviour up to the bound; the prop backend governs every boolean
-validity/equivalence query underneath).
+only the behaviour up to the bound; the symbolic engine is complete and
+scales with BDD width rather than state count; the prop backend governs
+every boolean validity/equivalence query underneath — the symbolic engine
+bypasses it entirely, so it is benchmarked once per design).
 
 A separate micro-benchmark certifies the point of the backend layer: on a
 wide (≥ 12-variable) equivalence query the BDD or SAT backend beats the
 exhaustive truth-table sweep outright.
+
+CI quick mode
+-------------
+``python benchmarks/bench_backends.py --quick --output BENCH_engines.json``
+runs the three engines on the small catalog designs, asserts cross-engine
+verdict agreement, and writes a JSON trajectory artifact (per design × engine:
+verdict + seconds) that the benchmark CI lane uploads on every run.
 """
 
 from __future__ import annotations
@@ -26,7 +36,9 @@ from repro.engines import get_engine, get_prop_backend, using_prop_backend
 from repro.logic.boolexpr import and_, not_, or_, var
 
 _DESIGNS = ["mal_fig2", "mal_fig4", "paper_example", "intel_like"]
+_QUICK_DESIGNS = ["mal_fig2", "mal_fig4", "paper_example"]
 _ENGINES = ["explicit", "bmc"]
+_ALL_ENGINES = ["explicit", "bmc", "symbolic"]
 _PROP_BACKENDS = ["table", "bdd", "sat", "auto"]
 _BMC_BOUND = 6
 
@@ -68,6 +80,22 @@ def test_primary_coverage_backend_matrix(benchmark, engine, prop_backend, name):
     assert verdict.engine == engine_instance.name
 
 
+@pytest.mark.parametrize("name", _available_designs())
+def test_primary_coverage_symbolic_engine(benchmark, name):
+    """The symbolic engine, once per design (it never consults prop backends)."""
+    from repro.designs import get_design
+
+    entry = get_design(name)
+    problem = entry.builder()
+    engine_instance = get_engine("symbolic")
+
+    verdict = benchmark.pedantic(
+        lambda: engine_instance.check_primary(problem), rounds=1, iterations=1
+    )
+    assert verdict.covered == entry.expected_covered
+    assert verdict.complete
+
+
 def _wide_equivalent_pair(width: int):
     """Two syntactically different but equivalent expressions over ``2*width`` vars.
 
@@ -106,3 +134,71 @@ def test_auto_policy_skips_enumeration_above_cutoff():
     joint = len(left.variables() | right.variables())
     assert not isinstance(auto.pick(joint), TruthTableBackend)
     assert auto.equivalent(left, right)
+
+
+# -- CI quick mode -------------------------------------------------------------
+
+
+def run_engine_trajectory(designs=None, *, bound: int = _BMC_BOUND) -> dict:
+    """Run every engine on the given designs; return the trajectory payload.
+
+    Asserts that the three engines agree (bounded verdicts included: on these
+    glue-logic-sized designs the bound exceeds the diameter) so the CI lane
+    fails on any cross-engine disagreement, not just on crashes.
+    """
+    from repro.designs import get_design
+
+    payload = {"bmc_bound": bound, "designs": {}}
+    for name in designs or _QUICK_DESIGNS:
+        entry = get_design(name)
+        problem = entry.builder()
+        row = {}
+        for engine_name in _ALL_ENGINES:
+            engine = get_engine(engine_name, max_bound=bound)
+            start = time.perf_counter()
+            verdict = engine.check_primary(problem)
+            row[engine_name] = {
+                "covered": bool(verdict.covered),
+                "complete": bool(verdict.complete),
+                "seconds": round(time.perf_counter() - start, 4),
+            }
+        verdicts = {cell["covered"] for cell in row.values()}
+        assert len(verdicts) == 1, f"engine disagreement on {name}: {row}"
+        assert row["explicit"]["covered"] == entry.expected_covered, name
+        payload["designs"][name] = row
+    return payload
+
+
+def main(argv=None) -> int:
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        description="engine-trajectory benchmark (explicit / bmc / symbolic)"
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="restrict to the small catalog designs (the CI lane default)",
+    )
+    parser.add_argument("--designs", nargs="+", metavar="NAME")
+    parser.add_argument("--bound", type=int, default=_BMC_BOUND)
+    parser.add_argument("--output", metavar="FILE", help="write the JSON payload to FILE")
+    args = parser.parse_args(argv)
+
+    designs = args.designs or (_QUICK_DESIGNS if args.quick else _DESIGNS)
+    payload = run_engine_trajectory(designs, bound=args.bound)
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    print(text if not args.output else f"engine trajectory written to {args.output}")
+    for name, row in payload["designs"].items():
+        cells = "  ".join(f"{e}={c['seconds']:.3f}s" for e, c in row.items())
+        print(f"  {name:<15} covered={row['explicit']['covered']!s:<5} {cells}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -75,6 +75,29 @@ def test_suite_parallel_matches_serial_verdicts(capsys):
         )
 
 
+def test_suite_engines_agree_shard_for_shard(capsys):
+    """One job matrix, three engines: identical verdict maps, timings printed.
+
+    This is the suite-level form of the cross-engine differential tests — the
+    shards the CI benchmark lane tracks must agree between the explicit
+    enumerator, the bounded SAT search and the symbolic BDD fixpoint.
+    """
+    kwargs = dict(include_signals=False, random_count=4, random_seed=2024)
+    results = {}
+    for engine in ("explicit", "bmc", "symbolic"):
+        jobs = expand_jobs(["mal_fig2", "mal_fig4"], engine=engine, **kwargs)
+        results[engine] = run_suite(jobs, workers=1, use_cache=False)
+        assert results[engine].succeeded
+    assert results["explicit"].verdicts() == results["symbolic"].verdicts()
+    assert results["explicit"].verdicts() == results["bmc"].verdicts()
+
+    with capsys.disabled():
+        cells = "  ".join(
+            f"{engine}={result.wall_seconds:.2f}s" for engine, result in results.items()
+        )
+        print(f"\n[bench_suite] {len(results['explicit'].shards)} shards/engine: {cells}")
+
+
 @pytest.mark.slow
 def test_suite_parallel_beats_serial_on_multicore(tmp_path):
     """The acceptance claim: --jobs 4 beats --jobs 1 wall-clock (multi-core only)."""

@@ -57,7 +57,10 @@ def build_parser() -> argparse.ArgumentParser:
             "--engine",
             choices=sorted(engine_names()),
             default="explicit",
-            help="primary-coverage engine (explicit-state nested DFS or bounded SAT)",
+            help=(
+                "primary-coverage engine (explicit-state nested DFS, bounded SAT, "
+                "or symbolic BDD fixpoint)"
+            ),
         )
         sub_parser.add_argument(
             "--prop-backend",
@@ -69,7 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
             "--bound",
             type=_non_negative_int,
             default=12,
-            help="unrolling bound for the bmc engine (ignored by explicit)",
+            help="unrolling bound for the bmc engine (ignored by explicit/symbolic)",
         )
 
     sub.add_parser("list", help="list the built-in designs")
@@ -236,10 +239,10 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     )
     renderers = {"text": render_text, "json": render_json, "markdown": render_markdown}
     report = renderers[args.report](result)
+    counts = result.counts()
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(report + "\n")
-        counts = result.counts()
         print(
             f"suite: {len(result.shards)} shards in {result.wall_seconds:.2f} s "
             f"({counts['ok']} ok, {counts['error']} error, {counts['timeout']} timeout); "
@@ -247,7 +250,19 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         )
     else:
         print(report)
-    return 0 if result.succeeded else 1
+    # CI must fail loudly: any errored or timed-out shard makes the run a
+    # failure, and the offending shards go to stderr so they are visible even
+    # when the report itself was redirected to a file.
+    failed = [shard for shard in result.shards if not shard.ok]
+    if failed:
+        for shard in failed:
+            print(
+                f"suite FAILED shard {shard.job.job_id} [{shard.job.engine}]: "
+                f"{shard.status} {shard.detail}".rstrip(),
+                file=sys.stderr,
+            )
+        return 1
+    return 0
 
 
 def _cmd_timing() -> int:

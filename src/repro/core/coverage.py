@@ -50,8 +50,10 @@ class CoverageOptions:
     """Tunables of the gap-finding pipeline.
 
     ``engine`` selects the primary-coverage engine from the
-    :mod:`repro.engines` registry (``"explicit"`` — complete nested-DFS — or
-    ``"bmc"`` — bounded SAT up to ``bmc_max_bound``).  ``prop_backend``
+    :mod:`repro.engines` registry: ``"explicit"`` (complete nested-DFS),
+    ``"bmc"`` (bounded SAT up to ``bmc_max_bound``) or ``"symbolic"``
+    (complete BDD fixpoint — prefer it when the product state space is too
+    wide for explicit enumeration).  ``prop_backend``
     selects the propositional decision backend (``"auto"``, ``"table"``,
     ``"bdd"``, ``"sat"``) installed for the duration of an analysis; the
     default ``None`` keeps the process-wide active backend (``auto`` unless

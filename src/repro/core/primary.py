@@ -11,10 +11,11 @@ gap analysis); if no such run exists, coverage is proved.
 
 The search itself is delegated to a :class:`~repro.engines.coverage.CoverageEngine`
 selected via ``options`` (:class:`~repro.core.coverage.CoverageOptions`):
-the complete explicit-state engine by default, or the bounded SAT engine
+the complete explicit-state engine by default, the bounded SAT engine
 (``engine="bmc"``), whose *covered* verdicts hold up to
 ``options.bmc_max_bound`` only (``PrimaryCoverageResult.complete`` records
-the distinction).
+the distinction), or the complete symbolic BDD fixpoint engine
+(``engine="symbolic"``).
 """
 
 from __future__ import annotations

@@ -62,7 +62,9 @@ def collect_gap_witnesses(
     far, so the enumeration keeps producing genuinely different scenarios
     until either no further run exists or ``max_witnesses`` is reached.
     The existential queries run on the engine selected by ``options``
-    (explicit-state by default, BMC with ``options.engine == "bmc"``).
+    (explicit-state by default; ``options.engine`` picks any registered
+    engine — ``"bmc"`` for the bounded SAT search, ``"symbolic"`` for the
+    BDD fixpoint, both of which return the same witness-lasso shape).
     """
     engine = engine_from_options(options)
     target = architectural if architectural is not None else problem.architectural_conjunction()

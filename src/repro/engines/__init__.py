@@ -9,8 +9,10 @@ Every decision query of the pipeline funnels through one of two registries:
   ``auto`` policy that picks by support size;
 * **coverage engines** (:mod:`repro.engines.coverage`) answer the paper's
   primary coverage question (Theorem 1) — via the explicit-state
-  product/nested-DFS engine (:mod:`repro.mc`) or the bounded SAT engine
-  (:mod:`repro.bmc`) — behind one ``check_primary(problem)`` interface.
+  product/nested-DFS engine (:mod:`repro.mc`), the bounded SAT engine
+  (:mod:`repro.bmc`) or the fully symbolic BDD fixpoint engine
+  (:mod:`repro.mc.symbolic`) — behind one ``check_primary(problem)``
+  interface.
 
 Both registries are string-keyed so the selection threads cleanly from the
 CLI (``--engine`` / ``--prop-backend``) and from
@@ -40,6 +42,7 @@ from .coverage import (
     get_engine,
     register_engine,
 )
+from .symbolic import SymbolicEngine
 
 __all__ = [
     "PropBackend",
@@ -57,6 +60,7 @@ __all__ = [
     "EngineVerdict",
     "ExplicitEngine",
     "BmcEngine",
+    "SymbolicEngine",
     "get_engine",
     "engine_names",
     "register_engine",

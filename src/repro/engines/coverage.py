@@ -1,14 +1,18 @@
-"""Coverage engines: one interface over explicit-state MC and bounded SAT.
+"""Coverage engines: one interface over explicit-state MC, bounded SAT and BDDs.
 
 Theorem 1 reduces the primary coverage question to one existential
 model-checking query — "is there a run of the concrete modules satisfying
-``!A`` and every RTL property?".  The repository ships two ways to answer it:
+``!A`` and every RTL property?".  The repository ships three ways to answer it:
 
 * the **explicit** engine — Kripke × Büchi product and nested DFS
   (:mod:`repro.mc.modelcheck`), complete on these finite designs;
 * the **bmc** engine — time-frame unrolling + Tseitin + CDCL
   (:mod:`repro.bmc.engine`), refutation-complete: a witness is definitive,
-  while "no witness" only holds up to the bound.
+  while "no witness" only holds up to the bound;
+* the **symbolic** engine — BDD-encoded product and Emerson–Lei fair-SCC
+  fixpoint (:mod:`repro.mc.symbolic`, registered by
+  :mod:`repro.engines.symbolic`), complete like the explicit engine but
+  scaling with BDD size instead of reachable-state count.
 
 :class:`CoverageEngine` unifies them behind ``check_primary(problem)`` /
 ``find_run(module, formulas)`` / ``is_covered_with(problem, extra)``, and the
@@ -110,14 +114,13 @@ class CoverageEngine:
             return self._find_run(module, formulas)
 
         from ..runner.cache import CachedRunResult, encode_run_result, query_key
-        from .prop import active_prop_backend
 
         key = query_key(
             "engine-run",
             module,
             formulas,
             engine=self.name,
-            backend=active_prop_backend().name,
+            backend=self._cache_backend(),
             bound=self._cache_bound(),
         )
         payload = cache.get(key)
@@ -130,6 +133,20 @@ class CoverageEngine:
     def _cache_bound(self) -> Optional[int]:
         """The bound component of this engine's cache keys (``None`` = complete)."""
         return None
+
+    def _cache_backend(self) -> str:
+        """The backend component of this engine's cache keys.
+
+        Engines whose search routes boolean queries through the active
+        propositional backend key on its name, so a result decided one way
+        can never shadow another.  Engines that never consult the backend
+        (the symbolic engine owns its BDD manager outright) override this
+        with a constant so their cached results replay under every
+        ``--prop-backend`` setting.
+        """
+        from .prop import active_prop_backend
+
+        return active_prop_backend().name
 
     def _find_run(self, module: "Module", formulas: Sequence[Formula]):
         """Engine-specific uncached search (overridden by each engine)."""
@@ -217,7 +234,16 @@ class BmcEngine(CoverageEngine):
 # -- registry -----------------------------------------------------------------
 
 _ENGINES: Dict[str, Callable[..., CoverageEngine]] = {}
-_ALIASES = {"explicit": "explicit", "mc": "explicit", "nested-dfs": "explicit", "bmc": "bmc"}
+_ALIASES = {
+    "explicit": "explicit",
+    "mc": "explicit",
+    "nested-dfs": "explicit",
+    "bmc": "bmc",
+    # The symbolic engine registers itself from repro.engines.symbolic; these
+    # aliases resolve once the package __init__ has imported it.
+    "sym": "symbolic",
+    "bdd-fixpoint": "symbolic",
+}
 
 
 def register_engine(name: str, factory: Callable[..., CoverageEngine]) -> None:
@@ -262,8 +288,9 @@ def engine_from_options(options) -> CoverageEngine:
     """Resolve the engine selected by a :class:`CoverageOptions`-like object.
 
     Reads the ``engine`` and ``bmc_max_bound`` attributes (duck-typed so the
-    core layer never has to import this module at class-definition time);
-    ``None`` selects the default explicit engine.
+    core layer never has to import this module at class-definition time) —
+    any registered engine name (``explicit`` / ``bmc`` / ``symbolic``) is
+    accepted; ``None`` selects the default explicit engine.
     """
     if options is None:
         return get_engine("explicit")

@@ -26,9 +26,7 @@ from .boolexpr import (
     Var,
     XorExpr,
     and_,
-    not_,
     or_,
-    var,
 )
 from .cube import Cube, Cover
 
@@ -329,10 +327,36 @@ class BDD:
         return result
 
     def rename(self, mapping: Mapping[str, str]) -> "BDD":
-        """Rename variables (compose with the identity on other variables)."""
-        expr = self.to_expr()
-        substitution = {old: var(new) for old, new in mapping.items()}
-        return self.manager.from_expr(expr.substitute(substitution))
+        """Rename variables (compose with the identity on other variables).
+
+        The renaming must be injective on the function's support and no
+        target may already occur in it (so simultaneous swaps are rejected):
+        renaming onto an existing variable silently merges two distinct
+        dimensions of the function, which is never what a transition-relation
+        shift wants, so it raises :class:`BDDError` instead.  Each pair is
+        applied as the relational composition ``∃ old. f ∧ (new ↔ old)`` —
+        linear passes over the DAG, never a round-trip through cube covers.
+        """
+        support = self.support()
+        relevant = {
+            old: new for old, new in mapping.items() if old != new and old in support
+        }
+        if not relevant:
+            return self
+        targets = list(relevant.values())
+        if len(set(targets)) != len(targets):
+            raise BDDError("rename maps two variables onto the same target")
+        for new in targets:
+            if new in support:
+                raise BDDError(
+                    f"rename target {new!r} already occurs in the function's support"
+                )
+        result = self
+        for old, new in relevant.items():
+            literal = self.manager.var(new)
+            old_literal = self.manager.var(old)
+            result = (result & literal.iff(old_literal)).exists([old])
+        return result
 
     # -- enumeration ------------------------------------------------------------------
     def satisfying_cubes(self) -> Iterator[Cube]:

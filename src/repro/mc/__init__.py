@@ -1,4 +1,10 @@
-"""Explicit-state LTL model checking on concrete RTL modules."""
+"""LTL model checking on concrete RTL modules.
+
+Two engines live here: the explicit-state product/nested-DFS checker
+(:mod:`repro.mc.modelcheck`) and the fully symbolic BDD fixpoint checker
+(:mod:`repro.mc.symbolic`).  Both answer the same existential query shape
+behind result objects that downstream code treats interchangeably.
+"""
 
 from .product import ProductStatistics, kripke_automata_product
 from .counterexample import lasso_to_signal_trace, trace_to_simulation
@@ -8,6 +14,12 @@ from .modelcheck import (
     find_run,
     check,
     build_kripke,
+)
+from .symbolic import (
+    SymbolicModelError,
+    SymbolicResult,
+    SymbolicStatistics,
+    find_run_symbolic,
 )
 
 __all__ = [
@@ -20,4 +32,8 @@ __all__ = [
     "find_run",
     "check",
     "build_kripke",
+    "SymbolicModelError",
+    "SymbolicResult",
+    "SymbolicStatistics",
+    "find_run_symbolic",
 ]

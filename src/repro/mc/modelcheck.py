@@ -31,7 +31,14 @@ from ..rtl.netlist import Module
 from .counterexample import lasso_to_signal_trace
 from .product import ProductStatistics, kripke_automata_product
 
-__all__ = ["ModelCheckResult", "ExistentialResult", "find_run", "check", "build_kripke"]
+__all__ = [
+    "ModelCheckResult",
+    "ExistentialResult",
+    "find_run",
+    "check",
+    "build_kripke",
+    "compile_formulas",
+]
 
 ModelLike = Union[Module, KripkeStructure]
 
@@ -80,8 +87,13 @@ def build_kripke(
     return kripke_from_module(model, extra_free=property_atoms)
 
 
-def _compile_formulas(formulas: Sequence[Formula]) -> List[GeneralizedBuchi]:
-    """Compile formulas into automata, splitting top-level conjunctions first."""
+def compile_formulas(formulas: Sequence[Formula]) -> List[GeneralizedBuchi]:
+    """Compile formulas into automata, splitting top-level conjunctions first.
+
+    This is the one formula→automaton pipeline shared by the explicit product
+    and the symbolic engine (:mod:`repro.mc.symbolic`); both must compose the
+    *same* automata or cross-engine agreement would be an accident.
+    """
     automata: List[GeneralizedBuchi] = []
     for formula in formulas:
         for part in conjuncts(formula):
@@ -98,7 +110,7 @@ def find_run(
     """Search for a run of the model satisfying every formula simultaneously."""
     start = time.perf_counter()
     kripke = build_kripke(model, formulas, extra_free)
-    automata = _compile_formulas(formulas)
+    automata = compile_formulas(formulas)
     statistics = ProductStatistics()
     product = kripke_automata_product(kripke, automata, statistics=statistics)
     lasso = product.accepting_lasso()
@@ -120,7 +132,7 @@ def check(
     start = time.perf_counter()
     formulas = [Not(property_formula)] + list(assumptions)
     kripke = build_kripke(model, list(formulas) + [property_formula], extra_free)
-    automata = _compile_formulas(formulas)
+    automata = compile_formulas(formulas)
     statistics = ProductStatistics()
     product = kripke_automata_product(kripke, automata, statistics=statistics)
     lasso = product.accepting_lasso()

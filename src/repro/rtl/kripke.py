@@ -122,10 +122,7 @@ def kripke_from_module(
     """
     module.validate(allow_undriven=True)
 
-    free_names: List[str] = list(module.inputs)
-    for name in sorted(module.undriven_signals()):
-        if name not in free_names:
-            free_names.append(name)
+    free_names: List[str] = module.environment_signals()
     for name in extra_free:
         if name not in free_names and name not in module.assigns and name not in module.registers:
             free_names.append(name)

@@ -127,6 +127,22 @@ class Module:
         driven = set(self.inputs) | set(self.assigns) | set(self.registers)
         return frozenset(name for name in self.signals() if name not in driven)
 
+    def environment_signals(self) -> List[str]:
+        """The signals the environment chooses each cycle, in canonical order.
+
+        Declared inputs first (in declaration order, skipping any that are
+        also driven), then the referenced-but-undriven signals sorted by name.
+        This is the single definition of "free signal" shared by the cycle
+        simulator, the Kripke builder and the symbolic engine — the three must
+        agree or witness replay would diverge from the state encoding.
+        """
+        driven = set(self.assigns) | set(self.registers)
+        free = [name for name in self.inputs if name not in driven]
+        for name in sorted(self.undriven_signals()):
+            if name not in free:
+                free.append(name)
+        return free
+
     def validate(self, allow_undriven: bool = False) -> None:
         """Check structural well-formedness; raises :class:`NetlistError`."""
         undriven = self.undriven_signals()

@@ -136,13 +136,7 @@ class Simulator:
         return self.trace
 
     def _free_signals(self) -> List[str]:
-        driven = set(self.module.assigns) | set(self.module.registers)
-        free = [name for name in self.module.inputs if name not in driven]
-        # Also treat referenced-but-undriven signals as free inputs.
-        for name in sorted(self.module.undriven_signals()):
-            if name not in free:
-                free.append(name)
-        return free
+        return self.module.environment_signals()
 
 
 def simulate(module: Module, stimulus: Stimulus, cycles: Optional[int] = None) -> SimulationTrace:

@@ -282,7 +282,11 @@ def execute_shard(job: CoverageJob, timeout: Optional[float] = None) -> ShardRes
         # alarm can fire, so the except bodies run unarmed.
         if use_alarm:
             previous_handler = _signal.signal(_signal.SIGALRM, _alarm_handler)
-            _signal.setitimer(_signal.ITIMER_REAL, timeout)
+            # Armed with a repeat interval: if the first alarm lands in a
+            # frame whose exception is swallowed (e.g. a GC callback raises
+            # it as "unraisable"), the timer re-fires until the watchdog is
+            # disarmed, so a timed-out shard cannot sneak through as "ok".
+            _signal.setitimer(_signal.ITIMER_REAL, timeout, 0.05)
         try:
             verdict, complete, detail = _answer(job)
         finally:

@@ -2,8 +2,9 @@
 
 This promotes the invariant previously only exercised by
 ``benchmarks/bench_backends.py`` into the tier-1 suite: on every catalogued
-design the explicit-state and the bounded SAT coverage engines — under every
-propositional backend — must return the catalogued coverage verdict.
+design the explicit-state, bounded SAT and symbolic BDD fixpoint coverage
+engines — under every propositional backend — must return the catalogued
+coverage verdict.
 """
 
 import pytest
@@ -14,6 +15,7 @@ from repro.designs import get_design
 from repro.engines import (
     BmcEngine,
     ExplicitEngine,
+    SymbolicEngine,
     engine_names,
     get_engine,
     using_prop_backend,
@@ -32,19 +34,27 @@ def problems():
 
 class TestEngineRegistry:
     def test_known_names(self):
-        assert set(engine_names()) == {"explicit", "bmc"}
+        assert set(engine_names()) == {"explicit", "bmc", "symbolic"}
 
     def test_lookup_and_aliases(self):
         assert isinstance(get_engine("explicit"), ExplicitEngine)
         assert isinstance(get_engine("mc"), ExplicitEngine)
         assert isinstance(get_engine("bmc"), BmcEngine)
+        assert isinstance(get_engine("symbolic"), SymbolicEngine)
+        assert isinstance(get_engine("sym"), SymbolicEngine)
+        assert isinstance(get_engine("bdd-fixpoint"), SymbolicEngine)
 
     def test_bmc_bound_forwarding(self):
         assert get_engine("bmc", max_bound=4).max_bound == 4
 
+    def test_symbolic_kwarg_forwarding(self):
+        assert get_engine("symbolic", verify_witness=False).verify_witness is False
+        # Generic call sites pass the whole tuning set; the factory filters.
+        assert get_engine("symbolic", max_bound=4).verify_witness is True
+
     def test_unknown_engine_raises(self):
         with pytest.raises(KeyError):
-            get_engine("symbolic")
+            get_engine("qbf")
 
     def test_explicit_ignores_bmc_kwargs(self):
         assert isinstance(get_engine("explicit", max_bound=4), ExplicitEngine)
@@ -71,10 +81,48 @@ class TestMatrixAgreement:
             assert verdict.complete == (engine == "explicit")
 
 
+class TestSymbolicAgreement:
+    """The symbolic engine matches the catalogued verdict on every design.
+
+    It does not consult the propositional backends (all boolean reasoning
+    happens inside its own BDD manager), so one pass per design suffices
+    instead of the full backend matrix.
+    """
+
+    @pytest.mark.parametrize("design", _DESIGNS)
+    def test_verdict_matches_catalog(self, problems, design):
+        entry = get_design(design)
+        verdict = get_engine("symbolic").check_primary(problems[design])
+        assert verdict.covered == entry.expected_covered
+        assert verdict.engine == "symbolic"
+        # Complete in both directions: proofs when covered, replay-checked
+        # witnesses when not.
+        assert verdict.complete
+        if not verdict.covered:
+            assert verdict.witness is not None
+
+    def test_closure_check_routes_symbolically(self, problems):
+        problem = problems["mal_fig4"]
+        engine = get_engine("symbolic")
+        assert engine.is_covered_with(problem, [problem.architectural_conjunction()])
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("design", ["intel_like", "mal_table1", "amba_ahb"])
+    def test_symbolic_agrees_with_explicit_on_large_catalog_designs(self, design):
+        """Completes the catalog sweep: symbolic == explicit, conjunct by conjunct."""
+        problem = get_design(design).builder()
+        explicit = get_engine("explicit")
+        symbolic = get_engine("symbolic")
+        for target in problem.architectural:
+            reference = explicit.check_primary(problem, architectural=target)
+            fixpoint = symbolic.check_primary(problem, architectural=target)
+            assert reference.covered == fixpoint.covered, (design, str(target))
+
+
 class TestOptionsRouting:
     """CoverageOptions carries the same selection through the core layer."""
 
-    @pytest.mark.parametrize("engine", _ENGINES)
+    @pytest.mark.parametrize("engine", _ENGINES + ["symbolic"])
     def test_primary_coverage_check_routes_engine(self, problems, engine):
         options = CoverageOptions(engine=engine, bmc_max_bound=_BMC_BOUND)
         result = primary_coverage_check(problems["mal_fig4"], options=options)
@@ -114,12 +162,18 @@ class TestOptionsRouting:
             architectural,
             replace(fast_options, engine="bmc", bmc_max_bound=_BMC_BOUND),
         )
-        assert explicit.covered == bounded.covered == False  # noqa: E712
+        symbolic = find_coverage_gap(
+            problem, architectural, replace(fast_options, engine="symbolic")
+        )
+        assert explicit.covered == bounded.covered == symbolic.covered == False  # noqa: E712
         assert explicit.primary.engine == "explicit"
         assert bounded.primary.engine == "bmc"
+        assert symbolic.primary.engine == "symbolic"
         # Positive sub-verdicts (gap closure) are proofs on the complete
-        # engine, bounded on BMC — and the report says so.
+        # engines, bounded on BMC — and the report says so.
         assert explicit.complete
+        assert symbolic.complete
         assert not bounded.complete
         assert "bounded" not in explicit.describe()
+        assert "bounded" not in symbolic.describe()
         assert "bounded" in bounded.describe()

@@ -67,6 +67,18 @@ class TestOperations:
         assert (a | b).forall(["a"]).equivalent(b)
         assert (a | ~a).forall(["a"]).is_true()
 
+    def test_quantification_over_empty_variable_set_is_identity(self, manager):
+        a, b = manager.var("a"), manager.var("b")
+        function = (a & b) | ~a
+        assert function.exists([]).root == function.root
+        assert function.forall([]).root == function.root
+
+    def test_quantification_over_absent_variable_is_identity(self, manager):
+        a, b = manager.var("a"), manager.var("b")
+        function = a & b
+        assert function.exists(["c"]).root == function.root
+        assert function.forall(["c"]).root == function.root
+
     def test_support(self, manager):
         a, b = manager.var("a"), manager.var("b")
         assert (a & b).support() == frozenset({"a", "b"})
@@ -81,6 +93,32 @@ class TestOperations:
         a, b = manager.var("a"), manager.var("b")
         renamed = (a & b).rename({"a": "d"})
         assert renamed.equivalent(manager.var("d") & b)
+
+    def test_rename_declares_fresh_targets(self, manager):
+        a = manager.var("a")
+        renamed = a.rename({"a": "z"})
+        assert renamed.support() == frozenset({"z"})
+
+    def test_rename_ignores_identity_and_absent_variables(self, manager):
+        a, b = manager.var("a"), manager.var("b")
+        function = a & b
+        assert function.rename({}).root == function.root
+        assert function.rename({"a": "a"}).root == function.root
+        assert function.rename({"c": "d"}).root == function.root
+
+    def test_rename_onto_existing_variable_raises(self, manager):
+        a, b = manager.var("a"), manager.var("b")
+        with pytest.raises(BDDError):
+            (a & b).rename({"a": "b"})
+        # Simultaneous swaps are collisions too: both targets stay in support.
+        with pytest.raises(BDDError):
+            (a & b).rename({"a": "b", "b": "a"})
+
+    def test_rename_onto_duplicate_target_raises(self, manager):
+        manager.declare("d")
+        a, b = manager.var("a"), manager.var("b")
+        with pytest.raises(BDDError):
+            (a & b).rename({"a": "d", "b": "d"})
 
     def test_count_solutions(self, manager):
         a, b = manager.var("a"), manager.var("b")

@@ -85,7 +85,7 @@ def _uncovered_witnesses(problem, engine_name: str, bound: int = 12):
 
 class TestCatalogCounterexamples:
     @pytest.mark.parametrize("design", ["mal_fig4", "paper_example"])
-    @pytest.mark.parametrize("engine_name", ["explicit", "bmc"])
+    @pytest.mark.parametrize("engine_name", ["explicit", "bmc", "symbolic"])
     def test_uncovered_designs_replay_and_violate(self, design, engine_name):
         problem = get_design(design).builder()
         witnesses = _uncovered_witnesses(problem, engine_name)

@@ -79,27 +79,36 @@ def _primary_verdicts(problem, engine_name: str, bound: int):
 
 
 class TestEngineAgreement:
-    """Explicit-state MC vs bounded model checking on random designs.
+    """Explicit MC vs bounded MC vs symbolic BDD fixpoint on random designs.
 
-    On these tiny designs the BMC bound exceeds every witness lasso, so the
-    engines must return the *same* verdict, and disagreement in either
+    On these tiny designs the BMC bound exceeds every witness lasso, so all
+    three engines must return the *same* verdict, and disagreement in any
     direction is a bug: a BMC witness is a concrete run (so explicit must find
-    one too), and an explicit witness is a lasso short enough for the bound.
+    one too), an explicit witness is a lasso short enough for the bound, and
+    the symbolic fixpoint proves/refutes exactly the explicit product's
+    emptiness.
     """
 
     @pytest.mark.parametrize("seed", [11, 23, 37, 53])
-    def test_explicit_and_bmc_agree_on_random_designs(self, seed):
+    def test_all_three_engines_agree_on_random_designs(self, seed):
         for index in range(3):
             problem = random_problem(RandomDesignSpec(seed=seed, index=index))
             explicit = _primary_verdicts(problem, "explicit", bound=12)
             bmc = _primary_verdicts(problem, "bmc", bound=12)
-            for left, right in zip(explicit, bmc):
-                assert left.covered == right.covered, (
+            symbolic = _primary_verdicts(problem, "symbolic", bound=12)
+            for reference, bounded, fixpoint in zip(explicit, bmc, symbolic):
+                assert reference.covered == bounded.covered == fixpoint.covered, (
                     f"engine disagreement on {problem.name}: "
-                    f"explicit={left.covered} bmc={right.covered}"
+                    f"explicit={reference.covered} bmc={bounded.covered} "
+                    f"symbolic={fixpoint.covered}"
                 )
-                if not right.covered:
-                    assert right.witness is not None
+                if not bounded.covered:
+                    assert bounded.witness is not None
+                if not fixpoint.covered:
+                    # Symbolic witnesses are replayed on the simulator before
+                    # they are reported; a missing one is an engine bug.
+                    assert fixpoint.witness is not None
+                    assert fixpoint.complete
 
     @pytest.mark.slow
     @pytest.mark.parametrize("seed", [71, 89])
@@ -118,7 +127,7 @@ class TestEngineAgreement:
         """Any engine's witness must satisfy R and refute A on direct evaluation."""
         from repro.ltl.traces import evaluate
 
-        for engine_name in ("explicit", "bmc"):
+        for engine_name in ("explicit", "bmc", "symbolic"):
             for index in range(3):
                 problem = random_problem(RandomDesignSpec(seed=seed, index=index))
                 for target, verdict in zip(

@@ -86,6 +86,31 @@ class TestExecution:
         warm = run_suite(jobs, workers=1, cache_dir=cache_dir)
         assert warm.cache_hit_ratio >= 0.9
 
+    def test_symbolic_shards_agree_and_cache_hit_on_warm_rerun(self, tmp_path):
+        """`--engine symbolic` shards: explicit-agreeing verdicts, warm hits."""
+        kwargs = dict(designs=[], random_count=2, random_seed=11)
+        symbolic_jobs = expand_jobs(engine="symbolic", **kwargs)
+        assert all(job.engine == "symbolic" for job in symbolic_jobs)
+        cache_dir = str(tmp_path / "cache")
+        cold = run_suite(symbolic_jobs, workers=1, cache_dir=cache_dir)
+        assert cold.succeeded
+        # Job ids are engine-independent, so the verdict maps must coincide.
+        explicit = run_suite(expand_jobs(**kwargs), workers=1, use_cache=False)
+        assert cold.verdicts() == explicit.verdicts()
+        warm = run_suite(symbolic_jobs, workers=1, cache_dir=cache_dir)
+        assert warm.verdicts() == cold.verdicts()
+        assert warm.cache_hit_ratio >= 0.9
+        assert warm.cache_misses == 0
+        # The fixpoint never consults the prop backends, so a rerun under a
+        # different --prop-backend replays the same cached results.
+        other_backend = run_suite(
+            expand_jobs(engine="symbolic", prop_backend="sat", **kwargs),
+            workers=1,
+            cache_dir=cache_dir,
+        )
+        assert other_backend.verdicts() == cold.verdicts()
+        assert other_backend.cache_misses == 0
+
     def test_no_cache_records_no_lookups(self):
         jobs = expand_jobs(designs=[], random_count=1, random_seed=11)
         result = run_suite(jobs, workers=1, use_cache=False)
@@ -246,3 +271,32 @@ class TestCli:
         assert code == 0
         out = capsys.readouterr().out
         assert "cache : disabled" in out
+
+    def test_cli_suite_symbolic_engine(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["suite", "--random", "1", "--seed", "11", "--designs", "mal_fig2",
+             "--no-cache", "--no-signals", "--engine", "symbolic"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "status: 2 ok, 0 error, 0 timeout" in out
+
+    def test_cli_suite_exits_nonzero_on_failing_shards(self, tmp_path, capsys):
+        """CI contract: errored/timed-out shards fail the run loudly."""
+        from repro.cli import main
+
+        output = tmp_path / "report.json"
+        code = main(
+            ["suite", "--designs", "paper_example", "--no-cache", "--no-signals",
+             "--timeout", "0.001", "--report", "json", "--output", str(output)]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        # The failing shard is named on stderr even though the report went to
+        # a file, so CI logs show *what* failed without opening artifacts.
+        assert "suite FAILED shard paper_example/primary/0" in captured.err
+        assert "timeout" in captured.err
+        payload = json.loads(output.read_text())
+        assert payload["counts"]["timeout"] == 1
