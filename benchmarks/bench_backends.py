@@ -21,9 +21,12 @@ exhaustive truth-table sweep outright.
 CI quick mode
 -------------
 ``python benchmarks/bench_backends.py --quick --output BENCH_engines.json``
-runs the three engines on the small catalog designs, asserts cross-engine
-verdict agreement, and writes a JSON trajectory artifact (per design × engine:
-verdict + seconds) that the benchmark CI lane uploads on every run.
+runs all four engines (explicit / bmc / symbolic / portfolio) on the small
+catalog designs with cone-of-influence slicing **on and off**, asserts
+cross-engine and sliced-vs-unsliced verdict agreement, and writes a JSON
+trajectory artifact — per design × engine: verdict, sliced/unsliced seconds,
+slicing speedup, and the portfolio's per-conjunct winners — that the
+benchmark CI lane uploads on every run.
 """
 
 from __future__ import annotations
@@ -35,10 +38,10 @@ import pytest
 from repro.engines import get_engine, get_prop_backend, using_prop_backend
 from repro.logic.boolexpr import and_, not_, or_, var
 
-_DESIGNS = ["mal_fig2", "mal_fig4", "paper_example", "intel_like"]
-_QUICK_DESIGNS = ["mal_fig2", "mal_fig4", "paper_example"]
+_DESIGNS = ["mal_fig2", "mal_fig4", "paper_example", "intel_like", "telemetry_bank"]
+_QUICK_DESIGNS = ["mal_fig2", "mal_fig4", "paper_example", "telemetry_bank"]
 _ENGINES = ["explicit", "bmc"]
-_ALL_ENGINES = ["explicit", "bmc", "symbolic"]
+_ALL_ENGINES = ["explicit", "bmc", "symbolic", "portfolio"]
 _PROP_BACKENDS = ["table", "bdd", "sat", "auto"]
 _BMC_BOUND = 6
 
@@ -142,9 +145,14 @@ def test_auto_policy_skips_enumeration_above_cutoff():
 def run_engine_trajectory(designs=None, *, bound: int = _BMC_BOUND) -> dict:
     """Run every engine on the given designs; return the trajectory payload.
 
-    Asserts that the three engines agree (bounded verdicts included: on these
-    glue-logic-sized designs the bound exceeds the diameter) so the CI lane
-    fails on any cross-engine disagreement, not just on crashes.
+    Each design × engine cell runs the primary coverage question *per
+    architectural conjunct* (the shape the suite shards and the gap pipeline
+    use) twice — with cone-of-influence slicing on, then off — and records
+    both wall-clock totals plus the speedup.  For the portfolio engine the
+    per-conjunct race winners are recorded.  Asserts that all engines agree
+    (bounded verdicts included: on these glue-logic-sized designs the bound
+    exceeds the diameter) and that sliced and unsliced runs return identical
+    verdicts, so the CI lane fails on any disagreement, not just on crashes.
     """
     from repro.designs import get_design
 
@@ -154,14 +162,39 @@ def run_engine_trajectory(designs=None, *, bound: int = _BMC_BOUND) -> dict:
         problem = entry.builder()
         row = {}
         for engine_name in _ALL_ENGINES:
-            engine = get_engine(engine_name, max_bound=bound)
-            start = time.perf_counter()
-            verdict = engine.check_primary(problem)
-            row[engine_name] = {
-                "covered": bool(verdict.covered),
-                "complete": bool(verdict.complete),
-                "seconds": round(time.perf_counter() - start, 4),
-            }
+            cell = {}
+            verdicts_by_mode = {}
+            # Sliced first: any shared warm-up (memoized automata) then
+            # benefits the unsliced run, keeping the reported speedup
+            # conservative.
+            for mode, slicing in (("sliced", True), ("unsliced", False)):
+                engine = get_engine(engine_name, max_bound=bound, slicing=slicing)
+                winners = []
+                per_conjunct = []
+                complete = True
+                start = time.perf_counter()
+                for target in problem.architectural:
+                    verdict = engine.check_primary(problem, architectural=target)
+                    per_conjunct.append(bool(verdict.covered))
+                    complete = complete and bool(verdict.complete)
+                    if verdict.winner:
+                        winners.append(verdict.winner)
+                seconds = time.perf_counter() - start
+                verdicts_by_mode[mode] = per_conjunct
+                cell[f"seconds_{mode}"] = round(seconds, 4)
+                if mode == "sliced":
+                    cell["covered"] = all(per_conjunct)
+                    cell["complete"] = complete
+                    if winners:
+                        cell["winners"] = winners
+            assert verdicts_by_mode["sliced"] == verdicts_by_mode["unsliced"], (
+                f"slicing changed a verdict on {name}/{engine_name}: {verdicts_by_mode}"
+            )
+            cell["seconds"] = cell["seconds_sliced"]
+            cell["slicing_speedup"] = round(
+                cell["seconds_unsliced"] / max(cell["seconds_sliced"], 1e-9), 2
+            )
+            row[engine_name] = cell
         verdicts = {cell["covered"] for cell in row.values()}
         assert len(verdicts) == 1, f"engine disagreement on {name}: {row}"
         assert row["explicit"]["covered"] == entry.expected_covered, name
@@ -174,7 +207,10 @@ def main(argv=None) -> int:
     import json
 
     parser = argparse.ArgumentParser(
-        description="engine-trajectory benchmark (explicit / bmc / symbolic)"
+        description=(
+            "engine-trajectory benchmark "
+            "(explicit / bmc / symbolic / portfolio, slicing on vs off)"
+        )
     )
     parser.add_argument(
         "--quick", action="store_true",
@@ -193,8 +229,13 @@ def main(argv=None) -> int:
             handle.write(text + "\n")
     print(text if not args.output else f"engine trajectory written to {args.output}")
     for name, row in payload["designs"].items():
-        cells = "  ".join(f"{e}={c['seconds']:.3f}s" for e, c in row.items())
+        cells = "  ".join(
+            f"{e}={c['seconds']:.3f}s(x{c['slicing_speedup']:.1f})" for e, c in row.items()
+        )
         print(f"  {name:<15} covered={row['explicit']['covered']!s:<5} {cells}")
+        winners = row.get("portfolio", {}).get("winners")
+        if winners:
+            print(f"  {'':<15} portfolio winners: {', '.join(winners)}")
     return 0
 
 

@@ -16,9 +16,13 @@ The package layers are:
 * :mod:`repro.mc` — explicit-state LTL model checking,
 * :mod:`repro.bmc` — SAT-based bounded model checking and k-induction,
 * :mod:`repro.sva` — a bounded SVA property front-end desugaring to LTL,
+* :mod:`repro.problem` — the compiled :class:`CoverageProblem` IR:
+  cone-of-influence slice, memoized property automata, free/observed signal
+  partition and structural fingerprint, built once per query shape and
+  consumed by every engine,
 * :mod:`repro.engines` — the unified decision-backend layer: propositional
   backends (truth table / BDD / SAT / auto) and coverage engines
-  (explicit / bmc) behind string-keyed registries,
+  (explicit / bmc / symbolic / portfolio) behind string-keyed registries,
 * :mod:`repro.core` — the paper's contribution: the intent-coverage problem,
   the ``T_M`` construction, the primary coverage question (Theorem 1), the
   coverage hole (Theorem 2), the gap-presentation Algorithm 1 and the
@@ -41,6 +45,7 @@ Quick start::
 from .ltl import parse, Formula, LassoTrace
 from .rtl import Module, parse_module, compose, simulate, Stimulus
 from .mc import check, find_run
+from .problem import CompiledProblem, compile_problem
 from .engines import (
     get_engine,
     get_prop_backend,
@@ -76,6 +81,8 @@ __all__ = [
     "Stimulus",
     "check",
     "find_run",
+    "CompiledProblem",
+    "compile_problem",
     "get_engine",
     "get_prop_backend",
     "set_prop_backend",

@@ -88,12 +88,16 @@ def find_run_bmc(
     max_bound: int = 12,
     min_bound: int = 0,
     use_result_cache: bool = True,
+    extra_free: Sequence[str] = (),
 ) -> BMCResult:
     """Search for a lasso run of ``module`` satisfying every formula.
 
     Bounds are explored in increasing order; for each bound every loop
     position is tried.  The first satisfiable query yields the witness.
     An unsatisfiable result only means *no witness up to* ``max_bound``.
+    ``extra_free`` names additional environment signals (e.g. the observed
+    free signals of a :class:`~repro.problem.CompiledProblem`) to leave
+    unconstrained — and decoded into witness states — in every frame.
 
     When a result cache is active (:mod:`repro.runner.cache`), the unrolled
     query — module structure + formulas + bound window — is fingerprinted and
@@ -104,6 +108,12 @@ def find_run_bmc(
     key (caching twice would double the fingerprinting and disk entries).
     """
     from ..runner.cache import active_result_cache
+
+    free_atoms = _free_atoms(module, formulas)
+    driven = set(module.assigns) | set(module.registers)
+    for name in extra_free:
+        if name not in driven and name not in free_atoms:
+            free_atoms.append(name)
 
     cache = active_result_cache() if use_result_cache else None
     cache_key = None
@@ -117,7 +127,7 @@ def find_run_bmc(
             engine="bmc",
             backend="-",
             bound=max_bound,
-            extra=(f"min_bound={min_bound}",),
+            extra=(f"min_bound={min_bound}", "free=" + ",".join(free_atoms)),
         )
         payload = cache.get(cache_key)
         if payload is not None:
@@ -132,13 +142,16 @@ def find_run_bmc(
 
     start = time.perf_counter()
     statistics = BMCStatistics()
-    unrolled = UnrolledModule(module, free_atoms=_free_atoms(module, formulas))
+    unrolled = UnrolledModule(module, free_atoms=free_atoms)
     unrolled.assert_initial_state()
+
+    from ..engines.cancel import check_cancelled
 
     for bound in range(min_bound, max_bound + 1):
         unrolled.extend_to(bound)
         statistics.max_bound_reached = bound
         for loop_start in range(bound + 1):
+            check_cancelled()
             query = unrolled.cnf.copy()
             unrolled.loop_constraint(query, loop_start)
             ltl = LTLBoundedEncoder(TseitinEncoder(query), bound, loop_start)

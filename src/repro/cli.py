@@ -15,6 +15,11 @@ Sub-commands
 ``specmatcher suite``
     Run the sharded coverage suite over the catalog (and random designs) on a
     worker pool with a persistent result cache; report as text/JSON/markdown.
+``specmatcher cache``
+    Inspect (``stats``) or wipe (``clear``) the persistent result cache.
+
+``specmatcher --version`` prints the package version (from the installed
+package metadata when available).
 """
 
 from __future__ import annotations
@@ -24,7 +29,7 @@ import sys
 from typing import List, Optional
 
 from .core import CoverageOptions, analyze_problem, format_report, format_table1
-from .engines import engine_names, get_engine, prop_backend_names, using_prop_backend
+from .engines import engine_choices, get_engine, prop_backend_names, using_prop_backend
 from .designs import (
     build_full_mal_fig2,
     get_design,
@@ -45,21 +50,38 @@ def _non_negative_int(text: str) -> int:
     return value
 
 
+def _package_version() -> str:
+    """The installed package version, falling back to the source tree's."""
+    try:
+        from importlib.metadata import version
+
+        return version("specmatcher")
+    except Exception:
+        # Not installed (e.g. running from a source checkout via PYTHONPATH).
+        from . import __version__
+
+        return __version__
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="specmatcher",
         description="Design intent coverage with concrete RTL blocks (DATE 2006 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_package_version()}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_backend_flags(sub_parser: argparse.ArgumentParser) -> None:
         sub_parser.add_argument(
             "--engine",
-            choices=sorted(engine_names()),
+            choices=engine_choices(),
             default="explicit",
             help=(
-                "primary-coverage engine (explicit-state nested DFS, bounded SAT, "
-                "or symbolic BDD fixpoint)"
+                "primary-coverage engine: explicit-state nested DFS, bounded SAT, "
+                "symbolic BDD fixpoint, or portfolio (alias race: all three "
+                "concurrently, first decisive verdict wins)"
             ),
         )
         sub_parser.add_argument(
@@ -73,6 +95,14 @@ def build_parser() -> argparse.ArgumentParser:
             type=_non_negative_int,
             default=12,
             help="unrolling bound for the bmc engine (ignored by explicit/symbolic)",
+        )
+        sub_parser.add_argument(
+            "--no-slice",
+            action="store_true",
+            help=(
+                "disable cone-of-influence slicing of the compiled problem IR "
+                "(every query then runs on the full module)"
+            ),
         )
 
     sub.add_parser("list", help="list the built-in designs")
@@ -148,6 +178,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", metavar="FILE", help="write the report to FILE instead of stdout"
     )
     add_backend_flags(suite_parser)
+
+    cache_parser = sub.add_parser(
+        "cache", help="inspect or clear the persistent result cache"
+    )
+    cache_parser.add_argument(
+        "action", choices=("stats", "clear"), help="what to do with the cache"
+    )
+    cache_parser.add_argument(
+        "--cache-dir",
+        default=".specmatcher_cache",
+        help="result-cache directory (default: %(default)s, the suite's default)",
+    )
     return parser
 
 
@@ -157,6 +199,7 @@ def _options_from_args(args: argparse.Namespace, **overrides) -> CoverageOptions
         engine=args.engine,
         prop_backend=args.prop_backend,
         bmc_max_bound=args.bound,
+        slicing=not args.no_slice,
         **overrides,
     )
 
@@ -177,11 +220,13 @@ def _cmd_list() -> int:
 def _cmd_check(design: str, args: argparse.Namespace) -> int:
     entry = get_design(design)
     problem = entry.builder()
-    engine = get_engine(args.engine, max_bound=args.bound)
+    engine = get_engine(args.engine, max_bound=args.bound, slicing=not args.no_slice)
     with using_prop_backend(args.prop_backend):
         verdict = engine.check_primary(problem)
     print(f"design   : {problem.name}")
     print(f"engine   : {verdict.engine}")
+    if verdict.winner:
+        print(f"winner   : {verdict.winner}")
     if verdict.covered and not verdict.complete:
         print(f"covered  : {verdict.covered} (up to bound {verdict.bound})")
     else:
@@ -226,6 +271,7 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         engine=args.engine,
         prop_backend=args.prop_backend,
         bound=args.bound,
+        slicing=not args.no_slice,
         include_signals=not args.no_signals,
         random_count=args.random,
         random_seed=args.seed,
@@ -265,6 +311,38 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .runner.cache import cache_dir_stats, clear_cache_dir
+
+    if args.action == "stats":
+        stats = cache_dir_stats(args.cache_dir)
+        print(f"cache dir : {stats['dir']}" + ("" if stats["exists"] else " (absent)"))
+        print(f"entries   : {stats['entries']}")
+        size = stats["size_bytes"]
+        if size >= 1024 * 1024:
+            human = f"{size / (1024 * 1024):.1f} MiB"
+        elif size >= 1024:
+            human = f"{size / 1024:.1f} KiB"
+        else:
+            human = f"{size} B"
+        print(f"size      : {human} ({size} bytes)")
+        print(f"hits      : {stats['hits']}")
+        print(f"misses    : {stats['misses']}")
+        print(f"hit ratio : {100.0 * stats['hit_ratio']:.1f}%")
+        return 0
+    if args.action == "clear":
+        import os
+
+        if not os.path.isdir(args.cache_dir):
+            print(f"cache dir {os.path.abspath(args.cache_dir)} does not exist; nothing to clear")
+            return 0
+        removed = clear_cache_dir(args.cache_dir)
+        print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'} from "
+              f"{os.path.abspath(args.cache_dir)}")
+        return 0
+    raise AssertionError(f"unhandled cache action {args.action!r}")  # pragma: no cover
+
+
 def _cmd_timing() -> int:
     design = build_full_mal_fig2()
     for title, stimulus in (
@@ -290,6 +368,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_table1(args)
     if args.command == "suite":
         return _cmd_suite(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "timing":
         return _cmd_timing()
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

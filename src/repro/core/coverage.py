@@ -51,9 +51,14 @@ class CoverageOptions:
 
     ``engine`` selects the primary-coverage engine from the
     :mod:`repro.engines` registry: ``"explicit"`` (complete nested-DFS),
-    ``"bmc"`` (bounded SAT up to ``bmc_max_bound``) or ``"symbolic"``
+    ``"bmc"`` (bounded SAT up to ``bmc_max_bound``), ``"symbolic"``
     (complete BDD fixpoint — prefer it when the product state space is too
-    wide for explicit enumeration).  ``prop_backend``
+    wide for explicit enumeration) or ``"portfolio"`` (alias ``"race"``:
+    all three concurrently, first decisive verdict wins).  ``slicing``
+    controls the cone-of-influence reduction of the compiled problem IR
+    (:mod:`repro.problem`): every query is restricted to the fan-in of its
+    formulas' atoms (plus the observed ``APR`` signals); disable it only for
+    differential testing.  ``prop_backend``
     selects the propositional decision backend (``"auto"``, ``"table"``,
     ``"bdd"``, ``"sat"``) installed for the duration of an analysis; the
     default ``None`` keeps the process-wide active backend (``auto`` unless
@@ -80,6 +85,7 @@ class CoverageOptions:
     engine: str = "explicit"
     prop_backend: Optional[str] = None
     bmc_max_bound: int = 12
+    slicing: bool = True
     cache_dir: Optional[str] = None
     use_cache: bool = True
 
@@ -112,6 +118,10 @@ class GapAnalysis:
     def describe(self) -> str:
         bounded = "" if self.complete else " (bounded: BMC engine, holds up to the bound only)"
         lines = [f"property: {to_str(self.property_formula)}"]
+        if self.primary is not None and self.primary.winner:
+            lines.append(
+                f"  decided by: {self.primary.engine} (winner: {self.primary.winner})"
+            )
         if self.covered:
             lines.append(
                 f"  covered by the RTL specification (primary question negative){bounded}"

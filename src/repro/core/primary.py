@@ -48,6 +48,8 @@ class PrimaryCoverageResult:
     engine: str = "explicit"
     #: False when a *covered* verdict is only bounded (BMC below the diameter).
     complete: bool = True
+    #: The member engine that produced the verdict (portfolio runs only).
+    winner: Optional[str] = None
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return self.covered
@@ -71,10 +73,17 @@ def primary_coverage_check(
     target = architectural if architectural is not None else problem.architectural_conjunction()
     formulas: List[Formula] = [Not(target)] + problem.all_rtl_formulas()
     start = time.perf_counter()
-    result = engine.find_run(problem.composed_module(), formulas)
+    # Witnesses feed the gap pipeline's term projection onto APR, so the
+    # whole alphabet is kept observable in the (sliced) compiled problem.
+    result = engine.find_run(
+        problem.composed_module(), formulas, observe=sorted(problem.apr)
+    )
     elapsed = time.perf_counter() - start
     statistics = result.statistics if isinstance(result.statistics, ProductStatistics) else ProductStatistics()
     covered = not result.satisfiable
+    result_complete = getattr(result, "complete", None)
+    if result_complete is None:
+        result_complete = engine.complete
     return PrimaryCoverageResult(
         problem_name=problem.name,
         covered=covered,
@@ -82,7 +91,8 @@ def primary_coverage_check(
         elapsed_seconds=elapsed,
         statistics=statistics,
         engine=engine.name,
-        complete=engine.complete or not covered,
+        complete=result_complete or not covered,
+        winner=getattr(result, "winner", None),
     )
 
 

@@ -59,6 +59,7 @@ class CoverageProblem:
     rtl_properties: List[Formula] = field(default_factory=list)
     concrete_modules: List[Module] = field(default_factory=list)
     assumptions: List[Formula] = field(default_factory=list)
+    _composed: Optional[Module] = field(default=None, repr=False, compare=False)
 
     # -- construction helpers -------------------------------------------------
     def add_architectural_property(self, formula: Formula) -> "CoverageProblem":
@@ -71,6 +72,7 @@ class CoverageProblem:
 
     def add_concrete_module(self, module: Module) -> "CoverageProblem":
         self.concrete_modules.append(module)
+        self._composed = None
         return self
 
     def add_assumption(self, formula: Formula) -> "CoverageProblem":
@@ -110,7 +112,14 @@ class CoverageProblem:
 
     # -- model ------------------------------------------------------------------
     def composed_module(self) -> Module:
-        """The concrete modules composed into one flat netlist ``M``."""
+        """The concrete modules composed into one flat netlist ``M``.
+
+        The composition is memoized: the gap pipeline asks for it on every
+        query, and re-composing (plus re-validating) per query was pure
+        per-query overhead.  :meth:`add_concrete_module` invalidates it.
+        """
+        if self._composed is not None:
+            return self._composed
         if not self.concrete_modules:
             raise SpecificationError(
                 f"coverage problem {self.name!r} has no concrete modules; "
@@ -119,8 +128,10 @@ class CoverageProblem:
         if len(self.concrete_modules) == 1:
             module = self.concrete_modules[0]
             module.validate(allow_undriven=True)
-            return module
-        return compose(self.concrete_modules, name=f"{self.name}_concrete")
+        else:
+            module = compose(self.concrete_modules, name=f"{self.name}_concrete")
+        self._composed = module
+        return module
 
     def has_concrete_modules(self) -> bool:
         return bool(self.concrete_modules)

@@ -75,7 +75,11 @@ def collect_gap_witnesses(
     witnesses: List[LassoTrace] = []
     exclusions: List[Formula] = []
     for _ in range(max_witnesses):
-        result = engine.find_run(module, base_formulas + exclusions)
+        # Witness prefixes are projected onto APR below; the compiled problem
+        # must keep the whole alphabet observable even when the query's
+        # formulas only read part of it (the cone-of-influence slice would
+        # otherwise drop signals the terms need).
+        result = engine.find_run(module, base_formulas + exclusions, observe=apr)
         if not result.satisfiable or result.witness is None:
             break
         witnesses.append(result.witness)

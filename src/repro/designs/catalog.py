@@ -9,6 +9,7 @@ from ..core.spec import CoverageProblem
 from .amba import build_amba_table1
 from .mal import build_mal, build_mal_table1, build_mal_with_gap, build_paper_example
 from .pipeline import build_pipeline_table1
+from .telemetry import build_telemetry_bank
 
 __all__ = ["DesignEntry", "CATALOG", "table1_designs", "get_design", "design_names"]
 
@@ -65,6 +66,15 @@ CATALOG: Dict[str, DesignEntry] = {
         expected_covered=False,
         description="Table 1 row 3: ARM AMBA AHB arbiter RTL with 29 master/slave properties",
         table1_row="ARM AMBA AHB",
+    ),
+    "telemetry_bank": DesignEntry(
+        name="telemetry_bank",
+        builder=build_telemetry_bank,
+        expected_covered=True,
+        description=(
+            "Three ack channels + spec-blind telemetry registers "
+            "(multi-conjunct cone-of-influence slicing showcase)"
+        ),
     ),
     "paper_example": DesignEntry(
         name="paper_example",

@@ -10,9 +10,13 @@ Every decision query of the pipeline funnels through one of two registries:
 * **coverage engines** (:mod:`repro.engines.coverage`) answer the paper's
   primary coverage question (Theorem 1) — via the explicit-state
   product/nested-DFS engine (:mod:`repro.mc`), the bounded SAT engine
-  (:mod:`repro.bmc`) or the fully symbolic BDD fixpoint engine
-  (:mod:`repro.mc.symbolic`) — behind one ``check_primary(problem)``
-  interface.
+  (:mod:`repro.bmc`), the fully symbolic BDD fixpoint engine
+  (:mod:`repro.mc.symbolic`), or the racing portfolio
+  (:mod:`repro.engines.portfolio`: all three concurrently with cooperative
+  cancellation, first decisive verdict wins) — behind one
+  ``check_primary(problem)`` interface.  Every engine consumes the compiled
+  problem IR (:mod:`repro.problem`), so each query is cone-of-influence
+  sliced and its automata are compiled once.
 
 Both registries are string-keyed so the selection threads cleanly from the
 CLI (``--engine`` / ``--prop-backend``) and from
@@ -32,16 +36,19 @@ from .prop import (
     set_prop_backend,
     using_prop_backend,
 )
+from .cancel import CancelToken, Cancelled, check_cancelled, using_cancel_token
 from .coverage import (
     BmcEngine,
     CoverageEngine,
     EngineVerdict,
     ExplicitEngine,
+    engine_choices,
     engine_from_options,
     engine_names,
     get_engine,
     register_engine,
 )
+from .portfolio import PortfolioEngine
 from .symbolic import SymbolicEngine
 
 __all__ = [
@@ -61,8 +68,14 @@ __all__ = [
     "ExplicitEngine",
     "BmcEngine",
     "SymbolicEngine",
+    "PortfolioEngine",
     "get_engine",
     "engine_names",
+    "engine_choices",
     "register_engine",
     "engine_from_options",
+    "CancelToken",
+    "Cancelled",
+    "check_cancelled",
+    "using_cancel_token",
 ]

@@ -31,6 +31,7 @@ from ..ltl.traces import LassoTrace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a core import cycle
     from ..core.spec import CoverageProblem
+    from ..problem import CompiledProblem
     from ..rtl.netlist import Module
 
 __all__ = [
@@ -41,6 +42,7 @@ __all__ = [
     "register_engine",
     "get_engine",
     "engine_names",
+    "engine_choices",
     "engine_from_options",
 ]
 
@@ -63,6 +65,8 @@ class EngineVerdict:
     elapsed_seconds: float = 0.0
     bound: Optional[int] = None
     statistics: object = None
+    #: The member engine that produced the verdict (portfolio runs only).
+    winner: Optional[str] = None
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return self.covered
@@ -70,9 +74,10 @@ class EngineVerdict:
     def summary(self) -> str:
         verdict = "covered" if self.covered else "NOT covered"
         qualifier = "" if self.complete or not self.covered else f" up to bound {self.bound}"
+        engine = self.engine if not self.winner else f"{self.engine}/{self.winner}"
         return (
             f"{self.problem_name}: {verdict}{qualifier} "
-            f"[{self.engine} engine, {self.elapsed_seconds:.3f} s]"
+            f"[{engine} engine, {self.elapsed_seconds:.3f} s]"
         )
 
 
@@ -86,14 +91,58 @@ def _query_formulas(
 
 
 class CoverageEngine:
-    """Base class / protocol of the primary-coverage engines."""
+    """Base class / protocol of the primary-coverage engines.
+
+    ``slicing`` controls whether queries are compiled with cone-of-influence
+    reduction (:mod:`repro.problem`); it defaults on and is threaded from
+    ``CoverageOptions.slicing`` / the CLI ``--no-slice`` flag.
+    """
 
     name: str = "?"
     #: True when a "covered" verdict is a full proof rather than bounded.
     complete: bool = True
 
-    def find_run(self, module: "Module", formulas: Sequence[Formula]):
-        """Existential query: a run of ``module`` satisfying every formula.
+    def __init__(self, *, slicing: bool = True):
+        self.slicing = slicing
+
+    def compile(
+        self,
+        module: "Module",
+        formulas: Sequence[Formula],
+        *,
+        observe: Sequence[str] = (),
+    ) -> "CompiledProblem":
+        """Compile one query into the IR this engine consumes (memoized)."""
+        from ..problem import compile_problem
+
+        return compile_problem(
+            module, formulas, observe=observe, slicing=self.slicing
+        )
+
+    def _as_problem(self, target, formulas, observe) -> "CompiledProblem":
+        from ..problem import CompiledProblem
+
+        if isinstance(target, CompiledProblem):
+            return target
+        if formulas is None:
+            raise TypeError("find_run needs formulas unless given a CompiledProblem")
+        return self.compile(target, formulas, observe=observe)
+
+    def find_run(
+        self,
+        target,
+        formulas: Optional[Sequence[Formula]] = None,
+        *,
+        observe: Sequence[str] = (),
+    ):
+        """Existential query: a run of the model satisfying every formula.
+
+        ``target`` is either a raw :class:`~repro.rtl.netlist.Module` (with
+        ``formulas``) — compiled here into a
+        :class:`~repro.problem.CompiledProblem`, memoized — or an already
+        compiled problem.  ``observe`` lists extra signals to keep in the
+        slice and in witness traces (ignored when a compiled problem is
+        passed).
 
         Returns an object with ``satisfiable`` and ``witness`` attributes
         (:class:`~repro.mc.modelcheck.ExistentialResult`,
@@ -101,32 +150,37 @@ class CoverageEngine:
         :class:`~repro.runner.cache.CachedRunResult`).
 
         When a result cache is active (:mod:`repro.runner.cache`), the query
-        is fingerprinted — module structure + formulas + engine + active
-        propositional backend + bound — and decided queries are replayed
-        instead of re-run.  This is the "never re-answer a decided query"
+        is fingerprinted — *sliced* module structure + formulas + free
+        partition + engine + active propositional backend + bound — and
+        decided queries are replayed instead of re-run.  Keying on the slice
+        means structurally identical cones hit the cache across designs and
+        across suite shards.  This is the "never re-answer a decided query"
         choke point: the primary question, witness enumeration and every
         closure check all pass through here.
         """
+        problem = self._as_problem(target, formulas, observe)
+
         from ..runner.cache import active_result_cache
 
         cache = active_result_cache()
         if cache is None:
-            return self._find_run(module, formulas)
+            return self._find_run(problem)
 
         from ..runner.cache import CachedRunResult, encode_run_result, query_key
 
         key = query_key(
             "engine-run",
-            module,
-            formulas,
+            problem.module,
+            problem.formulas,
             engine=self.name,
             backend=self._cache_backend(),
             bound=self._cache_bound(),
+            extra=problem.cache_extra(),
         )
         payload = cache.get(key)
         if payload is not None:
             return CachedRunResult.from_payload(payload)
-        result = self._find_run(module, formulas)
+        result = self._find_run(problem)
         cache.put(key, encode_run_result(result))
         return result
 
@@ -148,21 +202,29 @@ class CoverageEngine:
 
         return active_prop_backend().name
 
-    def _find_run(self, module: "Module", formulas: Sequence[Formula]):
+    def _find_run(self, problem: "CompiledProblem"):
         """Engine-specific uncached search (overridden by each engine)."""
         raise NotImplementedError
+
+    def _result_complete(self, result) -> bool:
+        """Completeness of one search result (portfolio results carry their own)."""
+        complete = getattr(result, "complete", None)
+        return self.complete if complete is None else bool(complete)
 
     def check_primary(
         self,
         problem: "CoverageProblem",
         *,
         architectural: Optional[Formula] = None,
+        observe: Sequence[str] = (),
     ) -> EngineVerdict:
         """Theorem 1: does the RTL specification cover the intent?"""
         problem.validate()
         start = time.perf_counter()
         result = self.find_run(
-            problem.composed_module(), _query_formulas(problem, architectural)
+            problem.composed_module(),
+            _query_formulas(problem, architectural),
+            observe=observe,
         )
         elapsed = time.perf_counter() - start
         return EngineVerdict(
@@ -170,12 +232,13 @@ class CoverageEngine:
             engine=self.name,
             covered=not result.satisfiable,
             # A refutation (concrete witness) is definitive for every engine;
-            # only a *covered* verdict inherits the engine's boundedness.
-            complete=self.complete or result.satisfiable,
+            # only a *covered* verdict inherits the result's boundedness.
+            complete=self._result_complete(result) or result.satisfiable,
             witness=result.witness,
             elapsed_seconds=elapsed,
             bound=getattr(result, "bound", None),
             statistics=getattr(result, "statistics", None),
+            winner=getattr(result, "winner", None),
         )
 
     def is_covered_with(
@@ -202,10 +265,15 @@ class ExplicitEngine(CoverageEngine):
     name = "explicit"
     complete = True
 
-    def _find_run(self, module: "Module", formulas: Sequence[Formula]):
+    def _find_run(self, problem: "CompiledProblem"):
         from ..mc.modelcheck import find_run
 
-        return find_run(module, formulas)
+        return find_run(
+            problem.module,
+            problem.formulas,
+            extra_free=problem.free_signals,
+            automata=problem.automata,
+        )
 
 
 class BmcEngine(CoverageEngine):
@@ -214,20 +282,25 @@ class BmcEngine(CoverageEngine):
     name = "bmc"
     complete = False
 
-    def __init__(self, *, max_bound: int = 12):
+    def __init__(self, *, max_bound: int = 12, slicing: bool = True):
+        super().__init__(slicing=slicing)
         self.max_bound = max_bound
 
     def _cache_bound(self) -> Optional[int]:
         return self.max_bound
 
-    def _find_run(self, module: "Module", formulas: Sequence[Formula]):
+    def _find_run(self, problem: "CompiledProblem"):
         from ..bmc.engine import find_run_bmc
 
         # The engine-level wrapper already caches this query under its own
         # key; disable the raw-search layer so each decision is fingerprinted
         # and persisted once.
         return find_run_bmc(
-            module, formulas, max_bound=self.max_bound, use_result_cache=False
+            problem.module,
+            problem.formulas,
+            max_bound=self.max_bound,
+            use_result_cache=False,
+            extra_free=problem.free_signals,
         )
 
 
@@ -239,10 +312,12 @@ _ALIASES = {
     "mc": "explicit",
     "nested-dfs": "explicit",
     "bmc": "bmc",
-    # The symbolic engine registers itself from repro.engines.symbolic; these
-    # aliases resolve once the package __init__ has imported it.
+    # The symbolic and portfolio engines register themselves from
+    # repro.engines.symbolic / repro.engines.portfolio; these aliases resolve
+    # once the package __init__ has imported them.
     "sym": "symbolic",
     "bdd-fixpoint": "symbolic",
+    "race": "portfolio",
 }
 
 
@@ -259,6 +334,11 @@ register_engine("bmc", BmcEngine)
 def engine_names() -> tuple:
     """The canonical registered engine names."""
     return tuple(sorted(_ENGINES))
+
+
+def engine_choices() -> tuple:
+    """Every accepted engine spelling: canonical names plus aliases."""
+    return tuple(sorted(set(_ALIASES) | set(_ENGINES)))
 
 
 def get_engine(name: str, **kwargs) -> CoverageEngine:
@@ -287,14 +367,16 @@ def get_engine(name: str, **kwargs) -> CoverageEngine:
 def engine_from_options(options) -> CoverageEngine:
     """Resolve the engine selected by a :class:`CoverageOptions`-like object.
 
-    Reads the ``engine`` and ``bmc_max_bound`` attributes (duck-typed so the
-    core layer never has to import this module at class-definition time) —
-    any registered engine name (``explicit`` / ``bmc`` / ``symbolic``) is
-    accepted; ``None`` selects the default explicit engine.
+    Reads the ``engine``, ``bmc_max_bound`` and ``slicing`` attributes
+    (duck-typed so the core layer never has to import this module at
+    class-definition time) — any registered engine name (``explicit`` /
+    ``bmc`` / ``symbolic`` / ``portfolio``) is accepted; ``None`` selects the
+    default explicit engine.
     """
     if options is None:
         return get_engine("explicit")
     return get_engine(
         getattr(options, "engine", "explicit"),
         max_bound=getattr(options, "bmc_max_bound", 12),
+        slicing=getattr(options, "slicing", True),
     )

@@ -19,13 +19,12 @@ the explicit engine in state enumeration stay tractable symbolically.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING
 
-from ..ltl.ast import Formula
 from .coverage import CoverageEngine, register_engine
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..rtl.netlist import Module
+    from ..problem import CompiledProblem
 
 __all__ = ["SymbolicEngine"]
 
@@ -40,7 +39,8 @@ class SymbolicEngine(CoverageEngine):
     name = "symbolic"
     complete = True
 
-    def __init__(self, *, verify_witness: bool = True):
+    def __init__(self, *, verify_witness: bool = True, slicing: bool = True):
+        super().__init__(slicing=slicing)
         self.verify_witness = verify_witness
 
     def _cache_backend(self) -> str:
@@ -48,10 +48,16 @@ class SymbolicEngine(CoverageEngine):
         # results are valid — and replayed — under every backend setting.
         return "-"
 
-    def _find_run(self, module: "Module", formulas: Sequence[Formula]):
+    def _find_run(self, problem: "CompiledProblem"):
         from ..mc.symbolic import find_run_symbolic
 
-        return find_run_symbolic(module, formulas, verify_witness=self.verify_witness)
+        return find_run_symbolic(
+            problem.module,
+            problem.formulas,
+            verify_witness=self.verify_witness,
+            automata=problem.automata,
+            extra_free=problem.free_signals,
+        )
 
 
 register_engine("symbolic", SymbolicEngine)

@@ -48,6 +48,7 @@ __all__ = [
     "W",
     "subformulas",
     "atoms_of",
+    "atom_support",
     "formula_size",
     "temporal_depth",
     "is_boolean",
@@ -305,6 +306,20 @@ def atoms_of(formula: Formula) -> FrozenSet[str]:
     for sub in subformulas(formula):
         if isinstance(sub, Atom):
             names.add(sub.name)
+    return frozenset(names)
+
+
+def atom_support(formulas: Iterable[Formula]) -> FrozenSet[str]:
+    """The joint atom support of a set of formulas.
+
+    This is the seed of the cone-of-influence slice a compiled
+    :class:`~repro.problem.CompiledProblem` takes of the design: a query over
+    these formulas can only observe — and therefore only depend on — the
+    drivers in the fan-in of this set.
+    """
+    names: set = set()
+    for formula in formulas:
+        names |= atoms_of(formula)
     return frozenset(names)
 
 

@@ -23,8 +23,6 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..ltl.ast import Formula, Not
 from ..ltl.buchi import GeneralizedBuchi
-from ..ltl.monitor import monitor_or_tableau
-from ..ltl.rewrite import conjuncts
 from ..ltl.traces import LassoTrace
 from ..rtl.kripke import KripkeStructure, kripke_from_module
 from ..rtl.netlist import Module
@@ -92,13 +90,13 @@ def compile_formulas(formulas: Sequence[Formula]) -> List[GeneralizedBuchi]:
 
     This is the one formula→automaton pipeline shared by the explicit product
     and the symbolic engine (:mod:`repro.mc.symbolic`); both must compose the
-    *same* automata or cross-engine agreement would be an accident.
+    *same* automata or cross-engine agreement would be an accident.  The
+    per-conjunct compilation is delegated to — and memoized by — the compiled
+    problem IR layer (:func:`repro.problem.compiled_automata`).
     """
-    automata: List[GeneralizedBuchi] = []
-    for formula in formulas:
-        for part in conjuncts(formula):
-            automata.append(monitor_or_tableau(part))
-    return automata
+    from ..problem.ir import compiled_automata
+
+    return list(compiled_automata(formulas))
 
 
 def find_run(
@@ -106,11 +104,17 @@ def find_run(
     formulas: Sequence[Formula],
     *,
     extra_free: Sequence[str] = (),
+    automata: Optional[Sequence[GeneralizedBuchi]] = None,
 ) -> ExistentialResult:
-    """Search for a run of the model satisfying every formula simultaneously."""
+    """Search for a run of the model satisfying every formula simultaneously.
+
+    ``automata`` supplies precompiled property automata (from a
+    :class:`~repro.problem.CompiledProblem`); when omitted they are compiled
+    from the formulas here.
+    """
     start = time.perf_counter()
     kripke = build_kripke(model, formulas, extra_free)
-    automata = compile_formulas(formulas)
+    automata = list(automata) if automata is not None else compile_formulas(formulas)
     statistics = ProductStatistics()
     product = kripke_automata_product(kripke, automata, statistics=statistics)
     lasso = product.accepting_lasso()

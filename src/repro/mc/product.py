@@ -107,8 +107,12 @@ def kripke_automata_product(
                 seen.add(combo)
                 worklist.append(combo)
 
-    # Forward exploration.
+    # Forward exploration.  Polls the cooperative cancel token so a racing
+    # portfolio can stop a losing product construction.
+    from ..engines.cancel import check_cancelled
+
     while worklist:
+        check_cancelled()
         combo = worklist.pop()
         source = get_state(combo)
         kripke_state = combo[0]

@@ -135,7 +135,14 @@ class SymbolicProduct:
     :meth:`image` / :meth:`preimage`.
     """
 
-    def __init__(self, module: Module, formulas: Sequence[Formula]):
+    def __init__(
+        self,
+        module: Module,
+        formulas: Sequence[Formula],
+        *,
+        automata: Optional[Sequence[GeneralizedBuchi]] = None,
+        extra_free: Sequence[str] = (),
+    ):
         module.validate(allow_undriven=True)
         self.module = module
         self.formulas = list(formulas)
@@ -149,12 +156,17 @@ class SymbolicProduct:
             for name in sorted(atoms_of(formula)):
                 if name not in driven and name not in free:
                     free.append(name)
+        for name in extra_free:
+            if name not in driven and name not in free:
+                free.append(name)
         self.free_names: List[str] = free
 
         # -- automata (the same pipeline the explicit product composes) -----
-        from .modelcheck import compile_formulas
+        if automata is None:
+            from .modelcheck import compile_formulas
 
-        self.automata: List[GeneralizedBuchi] = compile_formulas(formulas)
+            automata = compile_formulas(formulas)
+        self.automata: List[GeneralizedBuchi] = list(automata)
         self.statistics.automata = len(self.automata)
         self.statistics.automata_states = sum(a.state_count() for a in self.automata)
 
@@ -200,13 +212,20 @@ class SymbolicProduct:
             self._signal_next[name] = self.manager.from_expr(expr.substitute(primed))
 
         # -- partitioned transition relation --------------------------------
+        # Relation construction is the engine's most expensive setup phase;
+        # poll the cooperative cancel token per conjunct so a losing
+        # portfolio member stops here too, not only at its first image.
+        from ..engines.cancel import check_cancelled
+
         self.partition: List[BDD] = []
         for name in self.register_names:
+            check_cancelled()
             next_fn = self.manager.from_expr(
                 module.registers[name].next_value.substitute(flat)
             )
             self.partition.append(self.manager.var(_next_name(name)).iff(next_fn))
         for index, automaton in enumerate(self.automata):
+            check_cancelled()
             self.partition.append(self._automaton_relation(index, automaton))
         self.statistics.partitions = len(self.partition)
         # Fixed conjunction schedule: narrow conjuncts first so their
@@ -317,11 +336,17 @@ class SymbolicProduct:
 
     def image(self, states: BDD) -> BDD:
         """Successor set ``∃ current. states ∧ T``, renamed back to current vars."""
+        from ..engines.cancel import check_cancelled
+
+        check_cancelled()
         result = self._relational_step(states, self.current_vars)
         return result.rename(self._rename_to_current)
 
     def preimage(self, states: BDD) -> BDD:
         """Predecessor set ``∃ next. T ∧ states[next/current]``."""
+        from ..engines.cancel import check_cancelled
+
+        check_cancelled()
         primed = states.rename(self._rename_to_next)
         return self._relational_step(primed, [_next_name(n) for n in self.current_vars])
 
@@ -515,6 +540,8 @@ def find_run_symbolic(
     formulas: Sequence[Formula],
     *,
     verify_witness: bool = True,
+    automata: Optional[Sequence[GeneralizedBuchi]] = None,
+    extra_free: Sequence[str] = (),
 ) -> SymbolicResult:
     """Symbolic counterpart of :func:`repro.mc.modelcheck.find_run`.
 
@@ -522,9 +549,11 @@ def find_run_symbolic(
     BDD fixpoint machinery of :class:`SymbolicProduct`; a positive verdict
     carries a concrete lasso witness (simulator-replayed when
     ``verify_witness`` is set), a negative verdict is a full proof.
+    ``automata``/``extra_free`` accept the precompiled artifacts of a
+    :class:`~repro.problem.CompiledProblem`.
     """
     start = time.perf_counter()
-    product = SymbolicProduct(module, formulas)
+    product = SymbolicProduct(module, formulas, automata=automata, extra_free=extra_free)
     statistics = product.statistics
 
     satisfiable = False

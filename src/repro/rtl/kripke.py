@@ -167,8 +167,13 @@ def kripke_from_module(
         index = get_state(initial_registers, free_values, initial=True)
         worklist.append((dict(initial_registers), free_values))
 
+    # Cooperative cancellation: when this enumeration runs as a member of a
+    # racing portfolio, a faster engine's verdict stops it mid-build.
+    from ..engines.cancel import check_cancelled
+
     processed: Set[int] = set()
     while worklist:
+        check_cancelled()
         registers, free_values = worklist.pop()
         source = get_state(registers, free_values, initial=False)
         if source in processed:

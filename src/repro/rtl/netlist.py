@@ -24,7 +24,7 @@ single driver per signal, no undeclared signals, and no combinational cycles
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..logic.boolexpr import BoolExpr, Const, and_, const, var
 
@@ -157,35 +157,113 @@ class Module:
         self.evaluation_order()  # raises on combinational cycles
 
     def evaluation_order(self) -> List[str]:
-        """Topological order of combinational assignments (cached)."""
+        """Topological order of combinational assignments (cached).
+
+        The DFS is iterative (explicit frame stack), so deep combinational
+        chains — thousands of nets each feeding the next — never hit Python's
+        recursion limit.
+        """
         if self._eval_order is not None:
             return list(self._eval_order)
-        dependencies: Dict[str, Set[str]] = {}
+        dependencies: Dict[str, List[str]] = {}
         for name, expr in self.assigns.items():
-            dependencies[name] = {
+            dependencies[name] = sorted(
                 dep for dep in expr.variables() if dep in self.assigns
-            }
+            )
         order: List[str] = []
         visiting: Set[str] = set()
         visited: Set[str] = set()
 
-        def visit(node: str, chain: List[str]) -> None:
-            if node in visited:
-                return
-            if node in visiting:
-                cycle = " -> ".join(chain + [node])
-                raise NetlistError(f"combinational cycle in module {self.name!r}: {cycle}")
-            visiting.add(node)
-            for dependency in sorted(dependencies[node]):
-                visit(dependency, chain + [node])
-            visiting.discard(node)
-            visited.add(node)
-            order.append(node)
-
-        for name in sorted(self.assigns):
-            visit(name, [])
+        for root in sorted(self.assigns):
+            if root in visited:
+                continue
+            # Each frame is (node, iterator over its unvisited dependencies).
+            stack: List[Tuple[str, Iterator[str]]] = [(root, iter(dependencies[root]))]
+            visiting.add(root)
+            while stack:
+                node, pending = stack[-1]
+                advanced = False
+                for dependency in pending:
+                    if dependency in visited:
+                        continue
+                    if dependency in visiting:
+                        chain = [frame[0] for frame in stack]
+                        start = chain.index(dependency)
+                        cycle = " -> ".join(chain[start:] + [dependency])
+                        raise NetlistError(
+                            f"combinational cycle in module {self.name!r}: {cycle}"
+                        )
+                    visiting.add(dependency)
+                    stack.append((dependency, iter(dependencies[dependency])))
+                    advanced = True
+                    break
+                if not advanced:
+                    stack.pop()
+                    visiting.discard(node)
+                    visited.add(node)
+                    order.append(node)
         self._eval_order = order
         return list(order)
+
+    # -- dependency analysis / slicing ---------------------------------------
+    def dependency_graph(self) -> Dict[str, FrozenSet[str]]:
+        """Signal-level dependency graph: driven signal → signals it reads.
+
+        Combinational assignments depend on their expression's support;
+        registers depend on the support of their next-state function (a
+        sequential edge — the cone of influence follows both kinds).
+        """
+        graph: Dict[str, FrozenSet[str]] = {}
+        for name, expr in self.assigns.items():
+            graph[name] = frozenset(expr.variables())
+        for name, register in self.registers.items():
+            graph[name] = frozenset(register.next_value.variables())
+        return graph
+
+    def cone_of_influence(self, signals: Iterable[str]) -> FrozenSet[str]:
+        """Transitive fan-in of the given signals (inclusive, iterative).
+
+        Every signal whose value can reach one of the seeds — through
+        combinational logic or through register next-state functions — is in
+        the cone; everything else provably cannot affect the seeds' values.
+        """
+        graph = self.dependency_graph()
+        cone: Set[str] = set()
+        stack: List[str] = list(signals)
+        while stack:
+            name = stack.pop()
+            if name in cone:
+                continue
+            cone.add(name)
+            for dependency in graph.get(name, ()):
+                if dependency not in cone:
+                    stack.append(dependency)
+        return frozenset(cone)
+
+    def slice_for(self, signals: Iterable[str], name: Optional[str] = None) -> "Module":
+        """Cone-of-influence slice: the sub-netlist that can affect ``signals``.
+
+        Drivers (assigns and registers) outside the cone are dropped; inputs
+        and outputs are restricted to the cone.  The slice is a sound model
+        for any query whose atoms are within ``signals``: dropped drivers are
+        deterministic functions that cannot feed back into the cone, so the
+        slice admits exactly the cone-projected runs of the full module.
+        The returned module shares the (immutable) expressions of the
+        original — slicing never copies logic.
+        """
+        cone = self.cone_of_influence(signals)
+        sliced = Module(name or self.name)
+        sliced.inputs = [signal for signal in self.inputs if signal in cone]
+        sliced.outputs = [signal for signal in self.outputs if signal in cone]
+        sliced.assigns = {
+            signal: expr for signal, expr in self.assigns.items() if signal in cone
+        }
+        sliced.registers = {
+            signal: register
+            for signal, register in self.registers.items()
+            if signal in cone
+        }
+        return sliced
 
     # -- evaluation -----------------------------------------------------------------
     def evaluate_combinational(

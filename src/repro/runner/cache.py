@@ -68,6 +68,10 @@ __all__ = [
     "CacheStats",
     "ResultCache",
     "cache_for_dir",
+    "cache_dir_stats",
+    "clear_cache_dir",
+    "merge_persistent_stats",
+    "read_persistent_stats",
     "active_result_cache",
     "set_result_cache",
     "using_result_cache",
@@ -244,13 +248,20 @@ def decode_trace(payload: Optional[dict]) -> Optional[LassoTrace]:
 
 
 def encode_run_result(result) -> dict:
-    """Encode any engine run result (explicit / BMC / cached) as a payload."""
+    """Encode any engine run result (explicit / BMC / portfolio / cached).
+
+    ``complete`` and ``winner`` are carried for results that declare them
+    (the portfolio engine's verdict strength depends on which member won;
+    ``None`` means "the engine's own completeness applies").
+    """
     return {
         "satisfiable": bool(result.satisfiable),
         "witness": encode_trace(result.witness),
         "bound": getattr(result, "bound", None),
         "loop_start": getattr(result, "loop_start", None),
         "elapsed_seconds": float(getattr(result, "elapsed_seconds", 0.0)),
+        "complete": getattr(result, "complete", None),
+        "winner": getattr(result, "winner", None),
     }
 
 
@@ -270,6 +281,9 @@ class CachedRunResult:
     statistics: object = None
     elapsed_seconds: float = 0.0
     cached: bool = True
+    #: ``None`` means "the replaying engine's own completeness applies".
+    complete: Optional[bool] = None
+    winner: Optional[str] = None
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return self.satisfiable
@@ -282,6 +296,8 @@ class CachedRunResult:
             bound=payload.get("bound"),
             loop_start=payload.get("loop_start"),
             elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+            complete=payload.get("complete"),
+            winner=payload.get("winner"),
         )
 
 
@@ -387,6 +403,108 @@ class ResultCache:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         where = self.cache_dir or "memory"
         return f"<ResultCache {where} entries={len(self._memory)} stats={self.stats}>"
+
+
+# -- persistent per-directory statistics (the `specmatcher cache` CLI) --------
+
+#: Sidecar file of cumulative hit counters; the leading dot keeps it out of
+#: :meth:`ResultCache.disk_entry_count`.
+STATS_FILENAME = ".stats.json"
+
+
+def read_persistent_stats(cache_dir: str) -> Dict[str, int]:
+    """Cumulative hit counters recorded for a cache directory (zeros if none)."""
+    path = os.path.join(os.path.abspath(cache_dir), STATS_FILENAME)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        payload = {}
+    return {
+        "hits": int(payload.get("hits", 0)),
+        "misses": int(payload.get("misses", 0)),
+    }
+
+
+def merge_persistent_stats(cache_dir: str, *, hits: int, misses: int) -> Dict[str, int]:
+    """Accumulate one run's hit/miss counters into the directory's sidecar.
+
+    Written atomically; concurrent runs may lose increments to each other,
+    which is acceptable for what is a usage gauge, not an accounting ledger.
+    """
+    directory = os.path.abspath(cache_dir)
+    totals = read_persistent_stats(directory)
+    totals["hits"] += int(hits)
+    totals["misses"] += int(misses)
+    path = os.path.join(directory, STATS_FILENAME)
+    try:
+        os.makedirs(directory, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=directory, prefix=".tmp-", suffix=".json", delete=False, encoding="utf-8"
+        )
+        with handle:
+            json.dump(totals, handle, sort_keys=True)
+        os.replace(handle.name, path)
+    except OSError:  # pragma: no cover - disk full / permissions
+        pass
+    return totals
+
+
+def cache_dir_stats(cache_dir: str) -> Dict[str, object]:
+    """Inspection summary of a cache directory: entries, bytes, hit counters."""
+    directory = os.path.abspath(cache_dir)
+    entries = 0
+    size_bytes = 0
+    for root, _, files in os.walk(directory):
+        for name in files:
+            if name.startswith("."):
+                continue
+            if not name.endswith(".json"):
+                continue
+            entries += 1
+            try:
+                size_bytes += os.path.getsize(os.path.join(root, name))
+            except OSError:  # pragma: no cover - raced removal
+                pass
+    counters = read_persistent_stats(directory)
+    lookups = counters["hits"] + counters["misses"]
+    return {
+        "dir": directory,
+        "exists": os.path.isdir(directory),
+        "entries": entries,
+        "size_bytes": size_bytes,
+        "hits": counters["hits"],
+        "misses": counters["misses"],
+        "hit_ratio": counters["hits"] / lookups if lookups else 0.0,
+    }
+
+
+def clear_cache_dir(cache_dir: str) -> int:
+    """Delete every cache entry (and the stats sidecar) under ``cache_dir``.
+
+    Returns the number of entries removed.  The directory itself and any
+    foreign files are left alone; the in-memory layer of a live
+    :class:`ResultCache` bound to the directory is dropped too.
+    """
+    directory = os.path.abspath(cache_dir)
+    removed = 0
+    for root, _, files in os.walk(directory):
+        for name in files:
+            if not name.endswith(".json"):
+                continue
+            is_entry = not name.startswith(".")
+            if not is_entry and name != STATS_FILENAME:
+                continue
+            try:
+                os.remove(os.path.join(root, name))
+            except OSError:  # pragma: no cover - raced removal
+                continue
+            if is_entry:
+                removed += 1
+    cache = _DIR_CACHES.get(directory)
+    if cache is not None:
+        cache._memory.clear()
+    return removed
 
 
 # One ResultCache per directory per process, so every consumer of the same

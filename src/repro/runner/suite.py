@@ -74,6 +74,7 @@ class CoverageJob:
     engine: str = "explicit"
     prop_backend: str = "auto"
     bound: int = 12
+    slicing: bool = True
     random_spec: Optional[RandomDesignSpec] = None
 
     @property
@@ -115,6 +116,8 @@ class ShardResult:
     cache_misses: int = 0
     detail: str = ""
     worker_pid: int = 0
+    #: The member engine that produced the verdict (portfolio shards only).
+    winner: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -135,6 +138,7 @@ class ShardResult:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "detail": self.detail,
+            "winner": self.winner,
         }
 
 
@@ -182,6 +186,7 @@ def expand_jobs(
     engine: str = "explicit",
     prop_backend: str = "auto",
     bound: int = 12,
+    slicing: bool = True,
     include_signals: bool = True,
     random_count: int = 0,
     random_seed: int = 0,
@@ -204,6 +209,7 @@ def expand_jobs(
             engine=engine,
             prop_backend=prop_backend,
             bound=bound,
+            slicing=slicing,
             random_spec=spec,
         )
         for index in range(len(problem.architectural)):
@@ -233,23 +239,31 @@ def _alarm_handler(signum, frame):  # pragma: no cover - exercised via timeouts
     raise _ShardTimeout()
 
 
-def _answer(job: CoverageJob) -> Tuple[bool, bool, str]:
-    """Decide one shard; returns ``(verdict, complete, detail)``."""
+def _answer(job: CoverageJob) -> Tuple[bool, bool, str, Optional[str]]:
+    """Decide one shard; returns ``(verdict, complete, detail, winner)``."""
     problem = job.problem()
-    engine = get_engine(job.engine, max_bound=job.bound)
+    engine = get_engine(job.engine, max_bound=job.bound, slicing=job.slicing)
     with using_prop_backend(job.prop_backend):
         if job.kind == "primary":
             verdict = engine.check_primary(
                 problem, architectural=problem.architectural[job.index]
             )
-            return bool(verdict.covered), bool(verdict.complete), ""
+            return bool(verdict.covered), bool(verdict.complete), "", verdict.winner
         if job.kind == "signal":
             module = problem.composed_module()
             formulas = problem.all_rtl_formulas() + [Eventually(Atom(job.target))]
-            result = engine.find_run(module, formulas)
+            result = engine.find_run(module, formulas, observe=(job.target,))
             observable = bool(result.satisfiable)
-            # "never observable" is definitive only on a complete engine.
-            return observable, engine.complete or observable, ""
+            result_complete = getattr(result, "complete", None)
+            if result_complete is None:
+                result_complete = engine.complete
+            # "never observable" is definitive only on a complete verdict.
+            return (
+                observable,
+                result_complete or observable,
+                "",
+                getattr(result, "winner", None),
+            )
     raise ValueError(f"unknown shard kind {job.kind!r}")
 
 
@@ -263,7 +277,7 @@ def execute_shard(job: CoverageJob, timeout: Optional[float] = None) -> ShardRes
     cache = _current_cache()
     before = cache.stats.snapshot() if cache else CacheStats()
     start = time.perf_counter()
-    status, verdict, complete, detail = "ok", None, True, ""
+    status, verdict, complete, detail, winner = "ok", None, True, "", None
     import threading
 
     use_alarm = (
@@ -288,7 +302,7 @@ def execute_shard(job: CoverageJob, timeout: Optional[float] = None) -> ShardRes
             # disarmed, so a timed-out shard cannot sneak through as "ok".
             _signal.setitimer(_signal.ITIMER_REAL, timeout, 0.05)
         try:
-            verdict, complete, detail = _answer(job)
+            verdict, complete, detail, winner = _answer(job)
         finally:
             if use_alarm:
                 _signal.setitimer(_signal.ITIMER_REAL, 0)
@@ -311,6 +325,7 @@ def execute_shard(job: CoverageJob, timeout: Optional[float] = None) -> ShardRes
         cache_misses=delta.misses,
         detail=detail,
         worker_pid=os.getpid(),
+        winner=winner if status == "ok" else None,
     )
 
 
@@ -375,10 +390,19 @@ def run_suite(
             futures = [pool.submit(_worker_shard, job, shard_timeout) for job in ordered]
             shards = [future.result() for future in futures]
     wall = time.perf_counter() - start
-    return SuiteResult(
+    result = SuiteResult(
         shards=shards,
         workers=max(1, workers),
         wall_seconds=wall,
         cache_enabled=use_cache,
         cache_dir=os.path.abspath(cache_dir) if cache_dir else None,
     )
+    if use_cache and cache_dir:
+        # Accumulate this run's counters into the directory sidecar the
+        # `specmatcher cache stats` subcommand reports.
+        from .cache import merge_persistent_stats
+
+        merge_persistent_stats(
+            cache_dir, hits=result.cache_hits, misses=result.cache_misses
+        )
+    return result

@@ -350,13 +350,22 @@ class SatSolver:
         if conflict is not None:
             return SatResult(False)
 
+        from ..engines.cancel import check_cancelled
+
         restart_index = 1
         conflicts_until_restart = 32 * _luby(restart_index)
         conflicts_since_restart = 0
         learned_limit = max(100, len(self._clauses) // 2)
         root_trail_size = len(self._trail)
+        decisions_until_poll = 128
 
         while True:
+            # Cooperative cancellation for portfolio races, polled every few
+            # decisions so a lost race doesn't keep burning the CDCL loop.
+            decisions_until_poll -= 1
+            if decisions_until_poll <= 0:
+                decisions_until_poll = 128
+                check_cancelled()
             if max_conflicts is not None and stats.conflicts >= max_conflicts:
                 result = SatResult(False)
                 result.conflicts = stats.conflicts

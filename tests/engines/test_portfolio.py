@@ -1,0 +1,140 @@
+"""The racing portfolio engine: verdicts, winners, cancellation, caching."""
+
+import pytest
+
+from repro.designs import get_design
+from repro.engines import (
+    CancelToken,
+    Cancelled,
+    PortfolioEngine,
+    check_cancelled,
+    get_engine,
+    using_cancel_token,
+)
+from repro.runner.cache import ResultCache, using_result_cache
+
+_BMC_BOUND = 6
+_DESIGNS = ["mal_fig2", "mal_fig4", "paper_example", "telemetry_bank"]
+
+
+class TestCancellation:
+    def test_token_starts_clear(self):
+        token = CancelToken()
+        assert not token.cancelled
+        with using_cancel_token(token):
+            check_cancelled()  # must not raise
+
+    def test_cancelled_token_raises_at_poll(self):
+        token = CancelToken()
+        token.cancel()
+        with using_cancel_token(token):
+            with pytest.raises(Cancelled):
+                check_cancelled()
+
+    def test_no_token_never_raises(self):
+        check_cancelled()
+
+    def test_token_scoping_restores_previous(self):
+        outer, inner = CancelToken(), CancelToken()
+        inner.cancel()
+        with using_cancel_token(outer):
+            with using_cancel_token(inner):
+                with pytest.raises(Cancelled):
+                    check_cancelled()
+            check_cancelled()  # outer token is clear again
+
+
+class TestRegistry:
+    def test_aliases(self):
+        assert isinstance(get_engine("portfolio"), PortfolioEngine)
+        assert isinstance(get_engine("race"), PortfolioEngine)
+
+    def test_member_validation(self):
+        with pytest.raises(ValueError):
+            PortfolioEngine(members=())
+        with pytest.raises(ValueError):
+            PortfolioEngine(members=("portfolio",))
+
+    def test_kwarg_forwarding(self):
+        engine = get_engine("portfolio", max_bound=4, slicing=False)
+        assert engine.max_bound == 4
+        assert engine.slicing is False
+
+
+@pytest.mark.parametrize("design", _DESIGNS)
+class TestVerdicts:
+    def test_matches_catalog_and_records_winner(self, design):
+        entry = get_design(design)
+        verdict = get_engine("portfolio", max_bound=_BMC_BOUND).check_primary(
+            entry.builder()
+        )
+        assert verdict.covered == entry.expected_covered
+        assert verdict.engine == "portfolio"
+        assert verdict.winner in ("explicit", "bmc", "symbolic")
+        assert verdict.complete
+        if not verdict.covered:
+            assert verdict.witness is not None
+
+    def test_serial_ladder_agrees(self, design):
+        entry = get_design(design)
+        verdict = PortfolioEngine(max_bound=_BMC_BOUND, parallel=False).check_primary(
+            entry.builder()
+        )
+        assert verdict.covered == entry.expected_covered
+        assert verdict.winner in ("explicit", "bmc", "symbolic")
+
+
+class TestDecisiveness:
+    def test_witness_from_bounded_member_is_decisive(self):
+        # A gap design: bmc's satisfiable verdict is concrete and final.
+        problem = get_design("mal_fig4").builder()
+        engine = PortfolioEngine(max_bound=_BMC_BOUND, members=("bmc",), parallel=False)
+        verdict = engine.check_primary(problem)
+        assert not verdict.covered
+        assert verdict.winner == "bmc"
+        assert verdict.complete  # refutations are definitive
+
+    def test_bounded_unsat_fallback_is_incomplete(self):
+        # A covered design with only the bounded member: the race has no
+        # decisive verdict and must fall back to the bounded one, saying so.
+        problem = get_design("mal_fig2").builder()
+        engine = PortfolioEngine(max_bound=_BMC_BOUND, members=("bmc",), parallel=False)
+        verdict = engine.check_primary(problem)
+        assert verdict.covered
+        assert verdict.winner == "bmc"
+        assert not verdict.complete
+
+    def test_complete_member_beats_bounded_fallback(self):
+        problem = get_design("mal_fig2").builder()
+        engine = PortfolioEngine(
+            max_bound=_BMC_BOUND, members=("bmc", "explicit"), parallel=False
+        )
+        verdict = engine.check_primary(problem)
+        assert verdict.covered
+        assert verdict.winner == "explicit"
+        assert verdict.complete
+
+
+class TestCaching:
+    def test_cached_replay_preserves_winner_and_completeness(self):
+        problem = get_design("mal_fig4").builder()
+        engine = get_engine("portfolio", max_bound=_BMC_BOUND)
+        with using_result_cache(ResultCache()):
+            first = engine.check_primary(problem)
+            second = engine.check_primary(problem)
+        assert first.covered == second.covered
+        assert second.winner == first.winner
+        assert second.complete == first.complete
+
+    def test_race_populates_member_cache_keys(self):
+        # The winning member's own cache entry must exist so a later pinned
+        # run (--engine <winner>) replays instead of re-searching.
+        problem = get_design("mal_fig4").builder()
+        cache = ResultCache()
+        with using_result_cache(cache):
+            verdict = get_engine("portfolio", max_bound=_BMC_BOUND).check_primary(problem)
+            winner = verdict.winner
+            before = cache.stats.hits
+            pinned = get_engine(winner, max_bound=_BMC_BOUND).check_primary(problem)
+        assert pinned.covered == verdict.covered
+        assert cache.stats.hits > before

@@ -102,3 +102,95 @@ class TestEvaluation:
     def test_summary_mentions_counts(self):
         text = toggler().summary()
         assert "1 inputs" in text and "1 registers" in text
+
+
+class TestEvaluationOrderDepth:
+    def test_deep_combinational_chain_does_not_recurse(self):
+        """Regression: a 5000-net chain used to blow Python's recursion limit."""
+        module = Module("deep_chain")
+        module.add_input("a")
+        previous = "a"
+        for index in range(5000):
+            name = f"n{index}"
+            module.add_assign(name, var(previous))
+            previous = name
+        module.add_output(previous)
+        order = module.evaluation_order()
+        assert len(order) == 5000
+        assert order[0] == "n0" and order[-1] == "n4999"
+        valuation = module.evaluate_combinational({}, {"a": True})
+        assert valuation["n4999"] is True
+
+    def test_cycle_detection_reports_chain(self):
+        module = Module("loop")
+        module.add_assign("a", var("b"))
+        module.add_assign("b", var("a"))
+        with pytest.raises(NetlistError, match="combinational cycle"):
+            module.evaluation_order()
+
+    def test_long_cycle_detected_iteratively(self):
+        module = Module("ring")
+        length = 3000
+        for index in range(length):
+            module.add_assign(f"n{index}", var(f"n{(index + 1) % length}"))
+        with pytest.raises(NetlistError, match="combinational cycle"):
+            module.evaluation_order()
+
+
+class TestDependencyGraphAndSlicing:
+    def _two_channels(self) -> Module:
+        module = Module("two")
+        module.add_input("x").add_input("y")
+        module.add_register("r1", var("x"))
+        module.add_register("r2", var("y"))
+        module.add_assign("o1", var("r1"))
+        module.add_assign("o2", or_(var("r2"), var("o1")))
+        module.add_output("o1").add_output("o2")
+        return module
+
+    def test_dependency_graph_covers_both_driver_kinds(self):
+        graph = self._two_channels().dependency_graph()
+        assert graph["o1"] == frozenset({"r1"})
+        assert graph["r2"] == frozenset({"y"})
+        assert graph["o2"] == frozenset({"r2", "o1"})
+
+    def test_cone_follows_sequential_edges(self):
+        module = self._two_channels()
+        assert module.cone_of_influence(["o1"]) == frozenset({"o1", "r1", "x"})
+        assert module.cone_of_influence(["o2"]) == frozenset(
+            {"o2", "r2", "y", "o1", "r1", "x"}
+        )
+
+    def test_slice_keeps_only_cone_drivers(self):
+        module = self._two_channels()
+        sliced = module.slice_for(["o1"])
+        assert set(sliced.assigns) == {"o1"}
+        assert set(sliced.registers) == {"r1"}
+        assert sliced.inputs == ["x"]
+        assert sliced.outputs == ["o1"]
+        # Expressions are shared, not copied.
+        assert sliced.assigns["o1"] is module.assigns["o1"]
+
+    def test_slice_preserves_register_init(self):
+        module = Module("m")
+        module.add_register("r", var("r"), init=True)
+        module.add_assign("o", var("r"))
+        module.add_output("o")
+        sliced = module.slice_for(["o"])
+        assert sliced.registers["r"].init is True
+
+    def test_full_seed_slice_is_structurally_identical(self):
+        module = self._two_channels()
+        sliced = module.slice_for(module.signals())
+        assert sliced.assigns == module.assigns
+        assert sliced.registers == module.registers
+        assert sliced.inputs == module.inputs
+
+    def test_slice_behaviour_matches_on_cone_signals(self):
+        module = self._two_channels()
+        sliced = module.slice_for(["o1"])
+        state, sliced_state = module.initial_state(), sliced.initial_state()
+        for inputs in ({"x": True, "y": False}, {"x": False, "y": True}):
+            full_val, state = module.step(state, inputs)
+            sliced_val, sliced_state = sliced.step(sliced_state, {"x": inputs["x"]})
+            assert full_val["o1"] == sliced_val["o1"]

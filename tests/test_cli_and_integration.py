@@ -36,6 +36,74 @@ class TestCLI:
         assert "Figure 3(a)" in out and "Figure 3(b)" in out
         assert "wait" in out
 
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("specmatcher ")
+        # The reported version is the package's (installed metadata or the
+        # source fallback) — a dotted version number either way.
+        version = out.split()[1]
+        assert version[0].isdigit() and "." in version
+
+    def test_check_portfolio_reports_winner(self, capsys):
+        assert main(["check", "mal_fig4", "--engine", "portfolio"]) == 0
+        out = capsys.readouterr().out
+        assert "engine   : portfolio" in out
+        assert "winner   :" in out
+
+    def test_check_race_alias(self, capsys):
+        assert main(["check", "mal_fig4", "--engine", "race"]) == 0
+        out = capsys.readouterr().out
+        assert "engine   : portfolio" in out
+
+    def test_check_no_slice_agrees(self, capsys):
+        assert main(["check", "telemetry_bank"]) == 0
+        sliced = capsys.readouterr().out
+        assert main(["check", "telemetry_bank", "--no-slice"]) == 0
+        unsliced = capsys.readouterr().out
+        assert "covered  : True" in sliced
+        assert "covered  : True" in unsliced
+
+
+class TestCacheCommand:
+    def test_stats_and_clear_roundtrip(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert (
+            main(
+                ["suite", "--designs", "mal_fig2", "--no-signals",
+                 "--cache-dir", cache_dir]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "entries   :" in out and "entries   : 0" not in out
+        assert "misses    : 0" not in out  # the cold run recorded misses
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "entries   : 0" in out
+        assert "hits      : 0" in out
+
+    def test_stats_on_missing_dir(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope")
+        assert main(["cache", "stats", "--cache-dir", missing]) == 0
+        out = capsys.readouterr().out
+        assert "(absent)" in out
+        assert main(["cache", "clear", "--cache-dir", missing]) == 0
+        out = capsys.readouterr().out
+        assert "does not exist" in out
+
+    def test_cache_default_dir_matches_suite_default(self):
+        parser = build_parser()
+        cache_args = parser.parse_args(["cache", "stats"])
+        suite_args = parser.parse_args(["suite"])
+        assert cache_args.cache_dir == suite_args.cache_dir
+
 
 class TestSpecMatcherFacade:
     def test_fluent_construction_and_primary_query(self):
