@@ -22,11 +22,14 @@ CI quick mode
 -------------
 ``python benchmarks/bench_backends.py --quick --output BENCH_engines.json``
 runs all four engines (explicit / bmc / symbolic / portfolio) on the small
-catalog designs with cone-of-influence slicing **on and off**, asserts
-cross-engine and sliced-vs-unsliced verdict agreement, and writes a JSON
-trajectory artifact — per design × engine: verdict, sliced/unsliced seconds,
-slicing speedup, and the portfolio's per-conjunct winners — that the
-benchmark CI lane uploads on every run.
+catalog designs with cone-of-influence slicing **adaptive ("auto") and off**,
+asserts cross-engine and sliced-vs-unsliced verdict agreement, asserts that
+adaptive slicing never slows a design down meaningfully (per-design speedup
+≥ 0.95× over the summed engine timings — "auto" exists precisely because
+always-on slicing regressed near-full-cone designs), and writes a JSON trajectory
+artifact — per design × engine: verdict, sliced/unsliced seconds, slicing
+speedup, and the portfolio's per-conjunct winners — that the benchmark CI
+lane uploads on every run.
 """
 
 from __future__ import annotations
@@ -147,16 +150,19 @@ def run_engine_trajectory(designs=None, *, bound: int = _BMC_BOUND) -> dict:
 
     Each design × engine cell runs the primary coverage question *per
     architectural conjunct* (the shape the suite shards and the gap pipeline
-    use) twice — with cone-of-influence slicing on, then off — and records
-    both wall-clock totals plus the speedup.  For the portfolio engine the
-    per-conjunct race winners are recorded.  Asserts that all engines agree
-    (bounded verdicts included: on these glue-logic-sized designs the bound
-    exceeds the diameter) and that sliced and unsliced runs return identical
-    verdicts, so the CI lane fails on any disagreement, not just on crashes.
+    use) twice — with adaptive ("auto") cone-of-influence slicing, then with
+    slicing off — and records both wall-clock totals plus the speedup.  For
+    the portfolio engine the per-conjunct race winners are recorded.  Asserts
+    that all engines agree (bounded verdicts included: on these
+    glue-logic-sized designs the bound exceeds the diameter), that sliced and
+    unsliced runs return identical verdicts, and that adaptive slicing never
+    regresses a design's summed engine time below 0.95× of the unsliced
+    total, so the CI lane fails on any disagreement or slicing regression,
+    not just on crashes.
     """
     from repro.designs import get_design
 
-    payload = {"bmc_bound": bound, "designs": {}}
+    payload = {"bmc_bound": bound, "designs": {}, "design_slicing_speedup": {}}
     for name in designs or _QUICK_DESIGNS:
         entry = get_design(name)
         problem = entry.builder()
@@ -164,10 +170,17 @@ def run_engine_trajectory(designs=None, *, bound: int = _BMC_BOUND) -> dict:
         for engine_name in _ALL_ENGINES:
             cell = {}
             verdicts_by_mode = {}
-            # Sliced first: any shared warm-up (memoized automata) then
-            # benefits the unsliced run, keeping the reported speedup
-            # conservative.
-            for mode, slicing in (("sliced", True), ("unsliced", False)):
+            # One untimed warm-up pass first: it fills the process-wide memo
+            # caches (compiled automata, compile_problem) that both timed
+            # modes would otherwise race to pay.  Without it, whichever mode
+            # runs first absorbs the warm-up cost, and on full-cone designs —
+            # where "auto" and "off" do identical work — that one-time cost
+            # masquerades as a slicing regression.
+            warm = get_engine(engine_name, max_bound=bound, slicing="auto")
+            for target in problem.architectural:
+                warm.check_primary(problem, architectural=target)
+
+            def run_mode(slicing):
                 engine = get_engine(engine_name, max_bound=bound, slicing=slicing)
                 winners = []
                 per_conjunct = []
@@ -180,6 +193,10 @@ def run_engine_trajectory(designs=None, *, bound: int = _BMC_BOUND) -> dict:
                     if verdict.winner:
                         winners.append(verdict.winner)
                 seconds = time.perf_counter() - start
+                return per_conjunct, complete, winners, seconds
+
+            for mode, slicing in (("sliced", "auto"), ("unsliced", False)):
+                per_conjunct, complete, winners, seconds = run_mode(slicing)
                 verdicts_by_mode[mode] = per_conjunct
                 cell[f"seconds_{mode}"] = round(seconds, 4)
                 if mode == "sliced":
@@ -190,14 +207,57 @@ def run_engine_trajectory(designs=None, *, bound: int = _BMC_BOUND) -> dict:
             assert verdicts_by_mode["sliced"] == verdicts_by_mode["unsliced"], (
                 f"slicing changed a verdict on {name}/{engine_name}: {verdicts_by_mode}"
             )
+
+            def speedup():
+                return round(
+                    cell["seconds_unsliced"] / max(cell["seconds_sliced"], 1e-9), 2
+                )
+
+            # Adaptive slicing must never be a regression: on near-full cones
+            # "auto" skips the slice outright, so a measurable cell staying
+            # below 0.95x of the unsliced time means the heuristic broke.
+            # Sub-50ms cells are timer noise and exempt; an apparent
+            # regression is re-timed before failing, in *reverse* mode order
+            # — whichever mode runs second inherits warmed process-global
+            # state (hash-consing tables, BDD nodes), so taking the best of
+            # both positions per mode cancels that bias along with transient
+            # load spikes on a shared CI runner.
+            retries = 2
+            while (
+                cell["seconds_unsliced"] >= 0.05
+                and speedup() < 0.95
+                and retries > 0
+            ):
+                retries -= 1
+                _, _, _, again_unsliced = run_mode(False)
+                _, _, _, again_sliced = run_mode("auto")
+                cell["seconds_sliced"] = round(
+                    min(cell["seconds_sliced"], again_sliced), 4
+                )
+                cell["seconds_unsliced"] = round(
+                    min(cell["seconds_unsliced"], again_unsliced), 4
+                )
             cell["seconds"] = cell["seconds_sliced"]
-            cell["slicing_speedup"] = round(
-                cell["seconds_unsliced"] / max(cell["seconds_sliced"], 1e-9), 2
-            )
+            cell["slicing_speedup"] = speedup()
             row[engine_name] = cell
         verdicts = {cell["covered"] for cell in row.values()}
         assert len(verdicts) == 1, f"engine disagreement on {name}: {row}"
         assert row["explicit"]["covered"] == entry.expected_covered, name
+        # The no-regression floor is asserted per *design*, over the summed
+        # engine timings: individual cells run 0.1-2s, which is inside this
+        # class of runner's timer variance (the same workload was measured
+        # swinging 2x between reps), while the per-design total alternates
+        # the two modes four times and averages the drift out.  Sub-0.2s
+        # totals are exempt as pure noise.
+        total_sliced = sum(cell["seconds_sliced"] for cell in row.values())
+        total_unsliced = sum(cell["seconds_unsliced"] for cell in row.values())
+        design_speedup = round(total_unsliced / max(total_sliced, 1e-9), 2)
+        payload["design_slicing_speedup"][name] = design_speedup
+        if total_unsliced >= 0.2:
+            assert design_speedup >= 0.95, (
+                f"adaptive slicing regressed design {name}: {design_speedup}x "
+                f"({total_sliced:.3f}s sliced vs {total_unsliced:.3f}s unsliced)"
+            )
         payload["designs"][name] = row
     return payload
 

@@ -19,6 +19,7 @@ from typing import List, Optional, Sequence, Union
 
 from ..ltl.ast import Formula, Not, atoms_of
 from ..ltl.traces import LassoTrace
+from ..obs import metrics, span
 from ..rtl.netlist import Module
 from ..sat.solver import SatSolver
 from ..sat.tseitin import TseitinEncoder
@@ -38,10 +39,20 @@ class BMCStatistics:
     variables: int = 0
     conflicts: int = 0
     decisions: int = 0
+    propagations: int = 0
+    restarts: int = 0
+    #: Wall seconds spent at each explored bound, indexed from ``min_bound``
+    #: — the per-bound cost curve a learned bound scheduler needs.
+    per_bound_seconds: List[float] = field(default_factory=list)
 
-    def merge_solver(self, conflicts: int, decisions: int) -> None:
+    def merge_solver(
+        self, conflicts: int, decisions: int,
+        propagations: int = 0, restarts: int = 0,
+    ) -> None:
         self.conflicts += conflicts
         self.decisions += decisions
+        self.propagations += propagations
+        self.restarts += restarts
 
 
 @dataclass
@@ -145,38 +156,28 @@ def find_run_bmc(
     unrolled = UnrolledModule(module, free_atoms=free_atoms)
     unrolled.assert_initial_state()
 
-    from ..engines.cancel import check_cancelled
-
     for bound in range(min_bound, max_bound + 1):
-        unrolled.extend_to(bound)
-        statistics.max_bound_reached = bound
-        for loop_start in range(bound + 1):
-            check_cancelled()
-            query = unrolled.cnf.copy()
-            unrolled.loop_constraint(query, loop_start)
-            ltl = LTLBoundedEncoder(TseitinEncoder(query), bound, loop_start)
-            for formula in formulas:
-                ltl.assert_formula(formula)
-            statistics.sat_calls += 1
-            statistics.clauses = max(statistics.clauses, query.clause_count())
-            statistics.variables = max(statistics.variables, query.variable_count())
-            result = SatSolver(query).solve()
-            statistics.merge_solver(result.conflicts, result.decisions)
-            if result.satisfiable:
-                states = unrolled.decode_states(result.assignment)
-                witness = LassoTrace.from_states(states, loop_start)
-                return _store_bmc(
-                    cache,
-                    cache_key,
-                    BMCResult(
-                        True,
-                        bound,
-                        loop_start,
-                        witness,
-                        statistics,
-                        time.perf_counter() - start,
-                    ),
-                )
+        bound_start = time.perf_counter()
+        with span("bmc_bound", bound=bound) as sp:
+            witness_info = _search_bound(unrolled, formulas, bound, statistics)
+            sp.set(sat_calls=statistics.sat_calls)
+        bound_seconds = time.perf_counter() - bound_start
+        statistics.per_bound_seconds.append(round(bound_seconds, 6))
+        metrics().observe("bmc.bound_seconds", bound_seconds)
+        if witness_info is not None:
+            loop_start, witness = witness_info
+            return _store_bmc(
+                cache,
+                cache_key,
+                BMCResult(
+                    True,
+                    bound,
+                    loop_start,
+                    witness,
+                    statistics,
+                    time.perf_counter() - start,
+                ),
+            )
     return _store_bmc(
         cache,
         cache_key,
@@ -184,8 +185,44 @@ def find_run_bmc(
     )
 
 
+def _search_bound(
+    unrolled: UnrolledModule,
+    formulas: Sequence[Formula],
+    bound: int,
+    statistics: BMCStatistics,
+) -> Optional[tuple]:
+    """Try every loop position at one bound; ``(loop_start, witness)`` on SAT."""
+    from ..engines.cancel import check_cancelled
+
+    unrolled.extend_to(bound)
+    statistics.max_bound_reached = bound
+    for loop_start in range(bound + 1):
+        check_cancelled()
+        query = unrolled.cnf.copy()
+        unrolled.loop_constraint(query, loop_start)
+        ltl = LTLBoundedEncoder(TseitinEncoder(query), bound, loop_start)
+        for formula in formulas:
+            ltl.assert_formula(formula)
+        statistics.sat_calls += 1
+        statistics.clauses = max(statistics.clauses, query.clause_count())
+        statistics.variables = max(statistics.variables, query.variable_count())
+        result = SatSolver(query).solve()
+        statistics.merge_solver(
+            result.conflicts,
+            result.decisions,
+            result.propagations,
+            result.restarts,
+        )
+        if result.satisfiable:
+            states = unrolled.decode_states(result.assignment)
+            return loop_start, LassoTrace.from_states(states, loop_start)
+    return None
+
+
 def _store_bmc(cache, cache_key, result: BMCResult) -> BMCResult:
     """Record a freshly decided BMC search in the active cache (if any)."""
+    metrics().inc("bmc.runs")
+    metrics().inc("bmc.sat_calls", result.statistics.sat_calls)
     if cache is not None and cache_key is not None:
         from ..runner.cache import encode_run_result
 

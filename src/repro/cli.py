@@ -73,6 +73,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # Shared by every subcommand: stream spans + a final metrics snapshot of
+    # the whole invocation (suite workers append to the same file) as JSONL.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a JSONL trace (spans + metrics) of this invocation to FILE",
+    )
+
     def add_backend_flags(sub_parser: argparse.ArgumentParser) -> None:
         sub_parser.add_argument(
             "--engine",
@@ -105,27 +115,28 @@ def build_parser() -> argparse.ArgumentParser:
             ),
         )
 
-    sub.add_parser("list", help="list the built-in designs")
+    sub.add_parser("list", parents=[common], help="list the built-in designs")
 
-    check_parser = sub.add_parser("check", help="primary coverage question for a design")
+    check_parser = sub.add_parser("check", parents=[common], help="primary coverage question for a design")
     check_parser.add_argument("design", choices=design_names())
     add_backend_flags(check_parser)
 
-    analyze_parser = sub.add_parser("analyze", help="full coverage-gap analysis for a design")
+    analyze_parser = sub.add_parser("analyze", parents=[common], help="full coverage-gap analysis for a design")
     analyze_parser.add_argument("design", choices=design_names())
     analyze_parser.add_argument("--max-witnesses", type=int, default=3)
     analyze_parser.add_argument("--depth", type=int, default=5)
     analyze_parser.add_argument("--no-witnesses", action="store_true", help="omit witness waveforms")
     add_backend_flags(analyze_parser)
 
-    table_parser = sub.add_parser("table1", help="regenerate the paper's Table 1")
+    table_parser = sub.add_parser("table1", parents=[common], help="regenerate the paper's Table 1")
     table_parser.add_argument("--max-witnesses", type=int, default=2)
     add_backend_flags(table_parser)
 
-    sub.add_parser("timing", help="print the Figure 3 timing diagrams (MAL simulation)")
+    sub.add_parser("timing", parents=[common], help="print the Figure 3 timing diagrams (MAL simulation)")
 
     suite_parser = sub.add_parser(
         "suite",
+        parents=[common],
         help="run the sharded coverage suite (parallel workers + persistent result cache)",
     )
     suite_parser.add_argument(
@@ -175,12 +186,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="report format (default: %(default)s)",
     )
     suite_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "append a per-design, per-phase wall-time breakdown (from the "
+            "shard timing records) to the report"
+        ),
+    )
+    suite_parser.add_argument(
         "--output", metavar="FILE", help="write the report to FILE instead of stdout"
     )
     add_backend_flags(suite_parser)
 
     cache_parser = sub.add_parser(
-        "cache", help="inspect or clear the persistent result cache"
+        "cache", parents=[common], help="inspect or clear the persistent result cache"
     )
     cache_parser.add_argument(
         "action", choices=("stats", "clear"), help="what to do with the cache"
@@ -199,9 +218,14 @@ def _options_from_args(args: argparse.Namespace, **overrides) -> CoverageOptions
         engine=args.engine,
         prop_backend=args.prop_backend,
         bmc_max_bound=args.bound,
-        slicing=not args.no_slice,
+        slicing=_slicing_from_args(args),
         **overrides,
     )
+
+
+def _slicing_from_args(args: argparse.Namespace):
+    """``--no-slice`` forces slicing off; the default is adaptive ``"auto"``."""
+    return False if args.no_slice else "auto"
 
 
 def _cmd_list() -> int:
@@ -220,7 +244,7 @@ def _cmd_list() -> int:
 def _cmd_check(design: str, args: argparse.Namespace) -> int:
     entry = get_design(design)
     problem = entry.builder()
-    engine = get_engine(args.engine, max_bound=args.bound, slicing=not args.no_slice)
+    engine = get_engine(args.engine, max_bound=args.bound, slicing=_slicing_from_args(args))
     with using_prop_backend(args.prop_backend):
         verdict = engine.check_primary(problem)
     print(f"design   : {problem.name}")
@@ -271,7 +295,7 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         engine=args.engine,
         prop_backend=args.prop_backend,
         bound=args.bound,
-        slicing=not args.no_slice,
+        slicing=_slicing_from_args(args),
         include_signals=not args.no_signals,
         random_count=args.random,
         random_seed=args.seed,
@@ -282,9 +306,10 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         cache_dir=None if args.no_cache else args.cache_dir,
         use_cache=not args.no_cache,
         shard_timeout=args.timeout,
+        trace=args.trace,
     )
     renderers = {"text": render_text, "json": render_json, "markdown": render_markdown}
-    report = renderers[args.report](result)
+    report = renderers[args.report](result, profile=args.profile)
     counts = result.counts()
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -328,6 +353,8 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(f"size      : {human} ({size} bytes)")
         print(f"hits      : {stats['hits']}")
         print(f"misses    : {stats['misses']}")
+        print(f"stores    : {stats['stores']}")
+        print(f"evictions : {stats['evictions']}")
         print(f"hit ratio : {100.0 * stats['hit_ratio']:.1f}%")
         return 0
     if args.action == "clear":
@@ -358,21 +385,32 @@ def _cmd_timing() -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "list":
-        return _cmd_list()
-    if args.command == "check":
-        return _cmd_check(args.design, args)
-    if args.command == "analyze":
-        return _cmd_analyze(args.design, args)
-    if args.command == "table1":
-        return _cmd_table1(args)
-    if args.command == "suite":
-        return _cmd_suite(args)
-    if args.command == "cache":
-        return _cmd_cache(args)
-    if args.command == "timing":
-        return _cmd_timing()
-    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+    exporter = None
+    if getattr(args, "trace", None):
+        from .obs import install_trace_exporter
+
+        exporter = install_trace_exporter(args.trace)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "check":
+            return _cmd_check(args.design, args)
+        if args.command == "analyze":
+            return _cmd_analyze(args.design, args)
+        if args.command == "table1":
+            return _cmd_table1(args)
+        if args.command == "suite":
+            return _cmd_suite(args)
+        if args.command == "cache":
+            return _cmd_cache(args)
+        if args.command == "timing":
+            return _cmd_timing()
+        raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+    finally:
+        if exporter is not None:
+            # Flush this process's metrics record even on error exits; worker
+            # processes flush their own via atexit.
+            exporter.close()
 
 
 if __name__ == "__main__":  # pragma: no cover

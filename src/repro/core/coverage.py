@@ -27,6 +27,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from ..engines.coverage import engine_from_options
 from ..engines.prop import using_prop_backend
 from ..ltl.ast import Formula
+from ..obs import span
 from ..ltl.printer import to_str
 from .hole import CoverageHole, coverage_hole
 from .primary import PrimaryCoverageResult, primary_coverage_check
@@ -85,7 +86,10 @@ class CoverageOptions:
     engine: str = "explicit"
     prop_backend: Optional[str] = None
     bmc_max_bound: int = 12
-    slicing: bool = True
+    #: ``True`` always slices, ``False`` never; the default ``"auto"`` slices
+    #: only when the cone of influence drops a meaningful share of the design
+    #: (skipping slice construction on near-full cones).
+    slicing: object = "auto"
     cache_dir: Optional[str] = None
     use_cache: bool = True
 
@@ -219,7 +223,8 @@ def _find_coverage_gap(
 ) -> GapAnalysis:
     # Step 1: T_M and the exact hole.
     tm_start = time.perf_counter()
-    hole = coverage_hole(problem, architectural=architectural, options=options)
+    with span("tm_build", problem=problem.name):
+        hole = coverage_hole(problem, architectural=architectural, options=options)
     tm_seconds = time.perf_counter() - tm_start
 
     # Resolve the engine once per analysis: the closure checks below reuse it
@@ -227,7 +232,10 @@ def _find_coverage_gap(
     engine = engine_from_options(options)
 
     # Step 2 guard: the primary coverage question for this property.
-    primary = primary_coverage_check(problem, architectural=architectural, options=options)
+    with span("primary_check", problem=problem.name):
+        primary = primary_coverage_check(
+            problem, architectural=architectural, options=options
+        )
     if primary.covered:
         return GapAnalysis(
             property_formula=architectural,
@@ -240,68 +248,73 @@ def _find_coverage_gap(
         )
 
     gap_start = time.perf_counter()
-    # Steps 2(a)/(b): uncovered terms from witness runs, projected onto APR/APA.
-    terms = uncovered_terms(
-        problem,
-        architectural=architectural,
-        max_witnesses=options.max_witnesses,
-        depth=options.unfold_depth,
-        options=options,
-    )
-    # Step 2(c): push the terms into the parse tree.
-    push = push_terms(architectural, terms.terms)
-    # Step 2(d): weaken and keep the weakest closing candidates.  Suggestions
-    # whose new literal is a signal *driven* by the concrete modules are
-    # dropped by default: such literals merely restate the RTL and lead to
-    # candidates equivalent to the original property.  Free signals (module
-    # inputs and the signals of the property-specified sub-modules) are where
-    # genuine environment/scenario restrictions live.
-    suggestions = push.suggestions
-    if options.restrict_to_free_signals:
-        driven = set(problem.composed_module().assigns) | set(
-            problem.composed_module().registers
+    with span("gap_search", problem=problem.name):
+        # Steps 2(a)/(b): uncovered terms from witness runs, projected onto
+        # APR/APA.
+        terms = uncovered_terms(
+            problem,
+            architectural=architectural,
+            max_witnesses=options.max_witnesses,
+            depth=options.unfold_depth,
+            options=options,
         )
-        free_suggestions = [s for s in suggestions if s.literal_name not in driven]
-        if free_suggestions:
-            suggestions = free_suggestions
-    candidates = generate_candidates(architectural, suggestions, options=options)
-    # Cheap necessary-condition filter before the expensive closure checks: a
-    # candidate can only close the gap if every collected witness run violates
-    # it (otherwise that witness remains admissible after adding it).
-    from ..ltl.traces import evaluate as evaluate_on_trace
-
-    filtered = [
-        candidate
-        for candidate in candidates
-        if all(not evaluate_on_trace(candidate.formula, witness) for witness in terms.witnesses)
-    ]
-    if filtered:
-        candidates = filtered
-    candidates = candidates[: options.max_closure_checks]
-
-    def closes(candidate: Formula) -> bool:
-        return engine.is_covered_with(problem, [candidate], architectural=architectural)
-
-    gap_properties = select_weakest(architectural, candidates, closes, options=options)
-
-    fallback = False
-    if not gap_properties:
-        # No structure-preserving weakening closes the hole; fall back to the
-        # exact hole formula of Theorem 2 (always closes by construction).
-        fallback = True
-
-    gap_verified = False
-    if options.verify_closure:
-        if gap_properties:
-            gap_verified = engine.is_covered_with(
-                problem,
-                [candidate.formula for candidate in gap_properties[:1]],
-                architectural=architectural,
+        # Step 2(c): push the terms into the parse tree.
+        push = push_terms(architectural, terms.terms)
+        # Step 2(d): weaken and keep the weakest closing candidates.
+        # Suggestions whose new literal is a signal *driven* by the concrete
+        # modules are dropped by default: such literals merely restate the RTL
+        # and lead to candidates equivalent to the original property.  Free
+        # signals (module inputs and the signals of the property-specified
+        # sub-modules) are where genuine environment/scenario restrictions
+        # live.
+        suggestions = push.suggestions
+        if options.restrict_to_free_signals:
+            driven = set(problem.composed_module().assigns) | set(
+                problem.composed_module().registers
             )
-        else:
-            from .hole import hole_closes_gap
+            free_suggestions = [s for s in suggestions if s.literal_name not in driven]
+            if free_suggestions:
+                suggestions = free_suggestions
+        candidates = generate_candidates(architectural, suggestions, options=options)
+        # Cheap necessary-condition filter before the expensive closure
+        # checks: a candidate can only close the gap if every collected
+        # witness run violates it (otherwise that witness remains admissible
+        # after adding it).
+        from ..ltl.traces import evaluate as evaluate_on_trace
 
-            gap_verified = hole_closes_gap(problem, hole, options=options)
+        filtered = [
+            candidate
+            for candidate in candidates
+            if all(not evaluate_on_trace(candidate.formula, witness) for witness in terms.witnesses)
+        ]
+        if filtered:
+            candidates = filtered
+        candidates = candidates[: options.max_closure_checks]
+
+        def closes(candidate: Formula) -> bool:
+            return engine.is_covered_with(problem, [candidate], architectural=architectural)
+
+        gap_properties = select_weakest(architectural, candidates, closes, options=options)
+
+        fallback = False
+        if not gap_properties:
+            # No structure-preserving weakening closes the hole; fall back to
+            # the exact hole formula of Theorem 2 (always closes by
+            # construction).
+            fallback = True
+
+        gap_verified = False
+        if options.verify_closure:
+            if gap_properties:
+                gap_verified = engine.is_covered_with(
+                    problem,
+                    [candidate.formula for candidate in gap_properties[:1]],
+                    architectural=architectural,
+                )
+            else:
+                from .hole import hole_closes_gap
+
+                gap_verified = hole_closes_gap(problem, hole, options=options)
     gap_seconds = time.perf_counter() - gap_start
 
     return GapAnalysis(

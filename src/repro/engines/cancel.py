@@ -36,12 +36,29 @@ class Cancelled(Exception):
 
 
 class CancelToken:
-    """A shared flag the race winner sets to stop the losing engines."""
+    """A shared flag the race winner sets to stop the losing engines.
 
-    __slots__ = ("_event",)
+    The token also keeps per-member **poll counters**: every
+    :func:`check_cancelled` from a thread registered with a member name
+    (``using_cancel_token(token, member="bmc")``) bumps ``polls[member]``,
+    and — once the token is cancelled — ``polls_after_cancel[member]``.  The
+    portfolio reports these as each loser's progress at cancellation, and
+    the counters make cooperative shutdown *testable*: a well-behaved search
+    loop observes the cancel within a handful of polls, so
+    ``polls_after_cancel`` stays tiny.
+
+    Counter updates are plain dict mutations without a lock: each member
+    name is only ever written by its own racing thread, and single-key dict
+    operations are atomic under the GIL — a lock here would tax the hottest
+    loops (CDCL decisions, product expansion) for nothing.
+    """
+
+    __slots__ = ("_event", "polls", "polls_after_cancel")
 
     def __init__(self) -> None:
         self._event = threading.Event()
+        self.polls: dict = {}
+        self.polls_after_cancel: dict = {}
 
     def cancel(self) -> None:
         self._event.set()
@@ -49,6 +66,24 @@ class CancelToken:
     @property
     def cancelled(self) -> bool:
         return self._event.is_set()
+
+    def note_poll(self, member: str) -> None:
+        """Record one cancellation poll by ``member``'s search loop."""
+        self.polls[member] = self.polls.get(member, 0) + 1
+        if self._event.is_set():
+            self.polls_after_cancel[member] = (
+                self.polls_after_cancel.get(member, 0) + 1
+            )
+
+    def progress_snapshot(self) -> dict:
+        """Member → {polls, polls_after_cancel} at the time of the call."""
+        return {
+            member: {
+                "polls": count,
+                "polls_after_cancel": self.polls_after_cancel.get(member, 0),
+            }
+            for member, count in sorted(self.polls.items())
+        }
 
 
 _LOCAL = threading.local()
@@ -60,18 +95,32 @@ def active_cancel_token() -> Optional[CancelToken]:
 
 
 @contextmanager
-def using_cancel_token(token: Optional[CancelToken]) -> Iterator[Optional[CancelToken]]:
-    """Install ``token`` as the current thread's cancel token."""
+def using_cancel_token(
+    token: Optional[CancelToken], member: Optional[str] = None
+) -> Iterator[Optional[CancelToken]]:
+    """Install ``token`` as the current thread's cancel token.
+
+    ``member`` names this thread in the token's poll counters (the portfolio
+    passes the racing engine's name); unnamed threads poll without counting.
+    """
     previous = getattr(_LOCAL, "token", None)
+    previous_member = getattr(_LOCAL, "member", None)
     _LOCAL.token = token
+    _LOCAL.member = member
     try:
         yield token
     finally:
         _LOCAL.token = previous
+        _LOCAL.member = previous_member
 
 
 def check_cancelled() -> None:
     """Raise :class:`Cancelled` when the current thread's token is set."""
     token = getattr(_LOCAL, "token", None)
-    if token is not None and token.cancelled:
+    if token is None:
+        return
+    member = getattr(_LOCAL, "member", None)
+    if member is not None:
+        token.note_poll(member)
+    if token.cancelled:
         raise Cancelled()

@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 from ..ltl.ast import Formula, Not
 from ..ltl.traces import LassoTrace
+from ..obs import PhaseAggregator, metrics, span
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a core import cycle
     from ..core.spec import CoverageProblem
@@ -67,6 +68,9 @@ class EngineVerdict:
     statistics: object = None
     #: The member engine that produced the verdict (portfolio runs only).
     winner: Optional[str] = None
+    #: Per-query feature record of the compiled problem (coi_size, registers,
+    #: automaton_states, bound, ...) — the learned-scheduler substrate.
+    features: Optional[Dict[str, object]] = None
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return self.covered
@@ -94,15 +98,17 @@ class CoverageEngine:
     """Base class / protocol of the primary-coverage engines.
 
     ``slicing`` controls whether queries are compiled with cone-of-influence
-    reduction (:mod:`repro.problem`); it defaults on and is threaded from
-    ``CoverageOptions.slicing`` / the CLI ``--no-slice`` flag.
+    reduction (:mod:`repro.problem`): ``True`` always slices, ``False``
+    never, and the default ``"auto"`` slices only when the cone drops a
+    meaningful part of the module.  Threaded from ``CoverageOptions.slicing``
+    / the CLI ``--no-slice`` flag.
     """
 
     name: str = "?"
     #: True when a "covered" verdict is a full proof rather than bounded.
     complete: bool = True
 
-    def __init__(self, *, slicing: bool = True):
+    def __init__(self, *, slicing="auto"):
         self.slicing = slicing
 
     def compile(
@@ -164,7 +170,7 @@ class CoverageEngine:
 
         cache = active_result_cache()
         if cache is None:
-            return self._find_run(problem)
+            return self._instrumented_run(problem)
 
         from ..runner.cache import CachedRunResult, encode_run_result, query_key
 
@@ -180,8 +186,25 @@ class CoverageEngine:
         payload = cache.get(key)
         if payload is not None:
             return CachedRunResult.from_payload(payload)
-        result = self._find_run(problem)
-        cache.put(key, encode_run_result(result))
+        # Freshly decided queries are stored with their feature record and
+        # per-phase timing breakdown: the cache doubles as the training log
+        # the learned portfolio scheduler reads.
+        with PhaseAggregator() as phases:
+            result = self._instrumented_run(problem)
+        payload = encode_run_result(result)
+        payload["features"] = problem.features(bound=self._cache_bound())
+        payload["timings"] = phases.timings()
+        cache.put(key, payload)
+        return result
+
+    def _instrumented_run(self, problem: "CompiledProblem"):
+        """Run the engine-specific search under an ``engine_run`` span."""
+        with span(
+            "engine_run", engine=self.name, design=problem.source_name
+        ) as sp:
+            result = self._find_run(problem)
+            sp.set(satisfiable=bool(result.satisfiable))
+        metrics().inc(f"engine.{self.name}.runs")
         return result
 
     def _cache_bound(self) -> Optional[int]:
@@ -221,11 +244,12 @@ class CoverageEngine:
         """Theorem 1: does the RTL specification cover the intent?"""
         problem.validate()
         start = time.perf_counter()
-        result = self.find_run(
+        compiled = self.compile(
             problem.composed_module(),
             _query_formulas(problem, architectural),
             observe=observe,
         )
+        result = self.find_run(compiled)
         elapsed = time.perf_counter() - start
         return EngineVerdict(
             problem_name=problem.name,
@@ -239,6 +263,7 @@ class CoverageEngine:
             bound=getattr(result, "bound", None),
             statistics=getattr(result, "statistics", None),
             winner=getattr(result, "winner", None),
+            features=compiled.features(bound=self._cache_bound()),
         )
 
     def is_covered_with(
@@ -282,7 +307,7 @@ class BmcEngine(CoverageEngine):
     name = "bmc"
     complete = False
 
-    def __init__(self, *, max_bound: int = 12, slicing: bool = True):
+    def __init__(self, *, max_bound: int = 12, slicing="auto"):
         super().__init__(slicing=slicing)
         self.max_bound = max_bound
 
@@ -378,5 +403,5 @@ def engine_from_options(options) -> CoverageEngine:
     return get_engine(
         getattr(options, "engine", "explicit"),
         max_bound=getattr(options, "bmc_max_bound", 12),
-        slicing=getattr(options, "slicing", True),
+        slicing=getattr(options, "slicing", "auto"),
     )

@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from ..ltl.traces import LassoTrace
+from ..obs import metrics
 from .cancel import CancelToken, Cancelled, using_cancel_token
 from .coverage import CoverageEngine, get_engine, register_engine
 
@@ -72,6 +73,10 @@ class PortfolioResult:
     #: member name → outcome ("won" / "sat" / "unsat-bounded" / "cancelled" /
     #: "error: ..."), for reports and benchmarks.
     outcomes: Optional[dict] = None
+    #: member name → {polls, polls_after_cancel}: how often each racing
+    #: search loop polled the cancel token, and how long past cancellation it
+    #: kept polling.  The observable evidence that losers stopped promptly.
+    progress: Optional[dict] = None
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return self.satisfiable
@@ -95,7 +100,7 @@ class PortfolioEngine(CoverageEngine):
         self,
         *,
         max_bound: int = 12,
-        slicing: bool = True,
+        slicing="auto",
         members: Sequence[str] = DEFAULT_MEMBERS,
         parallel: bool = True,
     ):
@@ -151,7 +156,7 @@ class PortfolioEngine(CoverageEngine):
 
         def work(engine: CoverageEngine) -> None:
             try:
-                with using_cancel_token(token):
+                with using_cancel_token(token, member=engine.name):
                     # Members run their own find_run, so the shared result
                     # cache is consulted — and populated — under each
                     # member's own key.
@@ -196,7 +201,10 @@ class PortfolioEngine(CoverageEngine):
             token.cancel()
         for thread in threads:
             thread.join(timeout=5.0)
-        return self._settle(problem, engines, finished, outcomes, start)
+        return self._settle(
+            problem, engines, finished, outcomes, start,
+            progress=token.progress_snapshot(),
+        )
 
     # -- serial ladder fallback ----------------------------------------------
     def _ladder(self, problem: "CompiledProblem", engines, start: float):
@@ -217,7 +225,7 @@ class PortfolioEngine(CoverageEngine):
         return self._settle(problem, engines, finished, outcomes, start)
 
     # -- verdict selection ----------------------------------------------------
-    def _settle(self, problem, engines, finished, outcomes, start: float):
+    def _settle(self, problem, engines, finished, outcomes, start: float, progress=None):
         elapsed = time.perf_counter() - start
         by_name = {engine.name: engine for engine in engines}
         winner: Optional[Tuple[str, object]] = None
@@ -236,6 +244,8 @@ class PortfolioEngine(CoverageEngine):
         name, result = winner
         outcomes = dict(outcomes)
         outcomes[name] = "won"
+        metrics().inc("portfolio.races")
+        metrics().inc(f"portfolio.wins.{name}")
         return PortfolioResult(
             satisfiable=bool(result.satisfiable),
             winner=name,
@@ -245,6 +255,7 @@ class PortfolioEngine(CoverageEngine):
             statistics=getattr(result, "statistics", None),
             elapsed_seconds=elapsed,
             outcomes=outcomes,
+            progress=progress,
         )
 
 

@@ -91,6 +91,11 @@ class _BackendBase:
 
     name = "?"
 
+    def _count_query(self) -> None:
+        from ..obs import metrics
+
+        metrics().inc(f"prop.{self.name}.queries")
+
     def is_sat(self, expr: BoolExpr) -> bool:
         raise NotImplementedError
 
@@ -115,17 +120,21 @@ class TruthTableBackend(_BackendBase):
     name = "table"
 
     def is_sat(self, expr: BoolExpr) -> bool:
+        self._count_query()
         return not enumerate_is_contradiction(expr)
 
     def is_tautology(self, expr: BoolExpr) -> bool:
+        self._count_query()
         return enumerate_is_tautology(expr)
 
     def equivalent(self, left: BoolExpr, right: BoolExpr) -> bool:
         if left is right:
             return True
+        self._count_query()
         return enumerate_equivalent(left, right)
 
     def model(self, expr: BoolExpr) -> Optional[Assignment]:
+        self._count_query()
         for assignment in all_assignments(sorted(expr.variables())):
             if expr.evaluate(assignment):
                 return assignment
@@ -140,6 +149,7 @@ class BddBackend(_BackendBase):
     def _build(self, expr: BoolExpr):
         from ..logic.bdd import BDDManager
 
+        self._count_query()
         manager = BDDManager(sorted(expr.variables()))
         return manager.from_expr(expr)
 
@@ -154,6 +164,7 @@ class BddBackend(_BackendBase):
             return True
         from ..logic.bdd import BDDManager
 
+        self._count_query()
         manager = BDDManager(sorted(left.variables() | right.variables()))
         return manager.from_expr(left).root == manager.from_expr(right).root
 
@@ -175,6 +186,7 @@ class SatBackend(_BackendBase):
         from ..sat.solver import solve
         from ..sat.tseitin import encode_constraint
 
+        self._count_query()
         return solve(encode_constraint(expr))
 
     def is_sat(self, expr: BoolExpr) -> bool:

@@ -39,7 +39,7 @@ class SymbolicEngine(CoverageEngine):
     name = "symbolic"
     complete = True
 
-    def __init__(self, *, verify_witness: bool = True, slicing: bool = True):
+    def __init__(self, *, verify_witness: bool = True, slicing="auto"):
         super().__init__(slicing=slicing)
         self.verify_witness = verify_witness
 

@@ -90,6 +90,12 @@ class BDDManager:
             node = len(self._nodes)
             self._nodes.append(_Node(level, low, high))
             self._unique[key] = node
+            # Track the process-wide node peak, sampled every 4096 nodes so
+            # the hot construction path stays one bitmask test per node.
+            if not (node & 0xFFF):
+                from ..obs import metrics
+
+                metrics().gauge_max("bdd.nodes", node)
         return node
 
     def true(self) -> "BDD":

@@ -24,6 +24,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from ..ltl.ast import Formula, Not
 from ..ltl.buchi import GeneralizedBuchi
 from ..ltl.traces import LassoTrace
+from ..obs import metrics, span
 from ..rtl.kripke import KripkeStructure, kripke_from_module
 from ..rtl.netlist import Module
 from .counterexample import lasso_to_signal_trace
@@ -113,15 +114,28 @@ def find_run(
     from the formulas here.
     """
     start = time.perf_counter()
-    kripke = build_kripke(model, formulas, extra_free)
-    automata = list(automata) if automata is not None else compile_formulas(formulas)
+    with span("explicit_kripke"):
+        kripke = build_kripke(model, formulas, extra_free)
+        automata = list(automata) if automata is not None else compile_formulas(formulas)
     statistics = ProductStatistics()
-    product = kripke_automata_product(kripke, automata, statistics=statistics)
-    lasso = product.accepting_lasso()
+    with span("explicit_product"):
+        product = kripke_automata_product(kripke, automata, statistics=statistics)
+    with span("explicit_emptiness") as sp:
+        lasso = product.accepting_lasso()
+        sp.set(
+            product_states=statistics.product_states,
+            product_transitions=statistics.product_transitions,
+        )
+    registry = metrics()
+    registry.inc("explicit.runs")
+    registry.inc("explicit.kripke_states", statistics.kripke_states)
+    registry.inc("explicit.product_states", statistics.product_states)
+    registry.inc("explicit.product_transitions", statistics.product_transitions)
     elapsed = time.perf_counter() - start
     if lasso is None:
         return ExistentialResult(False, None, statistics, elapsed)
-    witness = lasso_to_signal_trace(product, lasso, kripke)
+    with span("explicit_witness"):
+        witness = lasso_to_signal_trace(product, lasso, kripke)
     return ExistentialResult(True, witness, statistics, elapsed)
 
 

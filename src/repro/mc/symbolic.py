@@ -58,6 +58,7 @@ from ..ltl.ast import Formula, atoms_of
 from ..ltl.buchi import GeneralizedBuchi
 from ..ltl.traces import LassoTrace
 from ..ltl.traces import evaluate as evaluate_on_trace
+from ..obs import metrics, span
 from ..rtl.netlist import Module
 
 __all__ = [
@@ -553,19 +554,31 @@ def find_run_symbolic(
     :class:`~repro.problem.CompiledProblem`.
     """
     start = time.perf_counter()
-    product = SymbolicProduct(module, formulas, automata=automata, extra_free=extra_free)
+    with span("symbolic_encode"):
+        product = SymbolicProduct(module, formulas, automata=automata, extra_free=extra_free)
     statistics = product.statistics
 
     satisfiable = False
     witness: Optional[LassoTrace] = None
     if not product.initial.is_false() and all(a.state_count() for a in product.automata):
-        fair = product.fair_states(product.reachable())
+        with span("symbolic_reachable") as sp:
+            reachable = product.reachable()
+            sp.set(iterations=statistics.reachable_iterations)
+        with span("symbolic_fair") as sp:
+            fair = product.fair_states(reachable)
+            sp.set(el_iterations=statistics.el_iterations)
         if not (product.initial & fair).is_false():
             satisfiable = True
-            witness = _extract_lasso(product, fair)
-            if verify_witness:
-                _replay_witness(module, formulas, witness)
+            with span("symbolic_witness"):
+                witness = _extract_lasso(product, fair)
+                if verify_witness:
+                    _replay_witness(module, formulas, witness)
 
     statistics.peak_nodes = max(statistics.peak_nodes, product.manager.node_count())
     statistics.elapsed_seconds = time.perf_counter() - start
+    registry = metrics()
+    registry.inc("symbolic.runs")
+    registry.inc("symbolic.image_iterations", statistics.reachable_iterations)
+    registry.inc("symbolic.el_rounds", statistics.el_iterations)
+    registry.gauge_max("symbolic.peak_nodes", statistics.peak_nodes)
     return SymbolicResult(satisfiable, witness, statistics, statistics.elapsed_seconds)

@@ -1,0 +1,127 @@
+"""Process-wide metrics registry: named counters, gauges and histograms.
+
+Every engine and the runner layer record *aggregate* observability data here
+— SAT decisions, product states expanded, BDD node peaks, cache hits — at
+phase boundaries, never inside inner loops, so the registry can stay a plain
+locked dictionary and the recording cost is invisible next to the work being
+measured.
+
+The registry is deliberately dependency-free and flat: a metric is a dotted
+name (``"sat.decisions"``, ``"result_cache.hits"``) mapped to
+
+* a **counter** (monotonic sum, :meth:`Metrics.inc`),
+* a **gauge** (last value, :meth:`Metrics.gauge`; or running maximum,
+  :meth:`Metrics.gauge_max` — used for peaks like BDD node counts), or
+* a **histogram** (count / sum / min / max of observed values,
+  :meth:`Metrics.observe` — used for per-bound BMC solve times).
+
+:func:`metrics` returns the process-wide registry.  The JSONL trace exporter
+(:mod:`repro.obs.export`) snapshots it into the trace stream, which is how CI
+asserts cache effectiveness from recorded counters instead of grepping report
+text.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+__all__ = ["Metrics", "metrics", "set_metrics"]
+
+
+class Metrics:
+    """A thread-safe registry of named counters, gauges and histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Dict[str, float]] = {}
+
+    # -- counters -------------------------------------------------------------
+    def inc(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to the counter ``name`` (created at 0)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def counter(self, name: str) -> float:
+        """Current value of a counter (0 when never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    # -- gauges ---------------------------------------------------------------
+    def gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to ``value`` (last write wins)."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def gauge_max(self, name: str, value: float) -> None:
+        """Raise the gauge ``name`` to ``value`` if larger (peak tracking)."""
+        with self._lock:
+            current = self._gauges.get(name)
+            if current is None or value > current:
+                self._gauges[name] = value
+
+    def gauge_value(self, name: str) -> Optional[float]:
+        with self._lock:
+            return self._gauges.get(name)
+
+    # -- histograms -----------------------------------------------------------
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into the histogram ``name``."""
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                self._histograms[name] = {
+                    "count": 1,
+                    "sum": value,
+                    "min": value,
+                    "max": value,
+                }
+            else:
+                histogram["count"] += 1
+                histogram["sum"] += value
+                if value < histogram["min"]:
+                    histogram["min"] = value
+                if value > histogram["max"]:
+                    histogram["max"] = value
+
+    # -- inspection -----------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready copy of every metric (counters / gauges / histograms)."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {name: dict(h) for name, h in self._histograms.items()},
+            }
+
+    def reset(self) -> None:
+        """Drop every metric (tests; never called by production paths)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        snap = self.snapshot()
+        return (
+            f"<Metrics counters={len(snap['counters'])} gauges={len(snap['gauges'])} "
+            f"histograms={len(snap['histograms'])}>"
+        )
+
+
+_GLOBAL = Metrics()
+
+
+def metrics() -> Metrics:
+    """The process-wide metrics registry."""
+    return _GLOBAL
+
+
+def set_metrics(registry: Metrics) -> Metrics:
+    """Swap the process-wide registry (tests); returns the previous one."""
+    global _GLOBAL
+    previous = _GLOBAL
+    _GLOBAL = registry
+    return previous

@@ -40,6 +40,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..ltl.ast import Formula, atom_support, atoms_of
 from ..ltl.buchi import GeneralizedBuchi
 from ..ltl.rewrite import conjuncts
+from ..obs import metrics, span
 from ..rtl.netlist import Module
 
 __all__ = [
@@ -48,7 +49,14 @@ __all__ = [
     "compiled_automata",
     "compile_cache_stats",
     "clear_compile_caches",
+    "AUTO_SLICE_THRESHOLD",
 ]
+
+#: ``slicing="auto"`` skips the slice when the cone covers at least this
+#: fraction of the module's registers: building a near-identical module costs
+#: more than it saves (BENCH_engines.json recorded 0.6–0.93x *slowdowns* on
+#: designs whose specs read almost everything).
+AUTO_SLICE_THRESHOLD = 0.90
 
 
 @dataclass(frozen=True, eq=False)
@@ -77,6 +85,41 @@ class CompiledProblem:
     def dropped_signals(self) -> int:
         """Driven signals the slice removed (0 when slicing is off)."""
         return self.dropped_assigns + self.dropped_registers
+
+    @property
+    def slice_ratio(self) -> float:
+        """Fraction of the original registers the slice kept (1.0 unsliced).
+
+        Falls back to the driven-signal ratio for purely combinational
+        modules (no registers to measure the cone against).
+        """
+        kept_registers = len(self.module.registers)
+        total_registers = kept_registers + self.dropped_registers
+        if total_registers:
+            return kept_registers / total_registers
+        kept = len(self.module.assigns)
+        total = kept + self.dropped_assigns
+        return kept / total if total else 1.0
+
+    def features(self, bound: Optional[int] = None) -> Dict[str, object]:
+        """The per-query feature record of this compiled problem.
+
+        This is the substrate the learned portfolio scheduler needs: the
+        structural size of the (sliced) query — cone size, register count,
+        automaton states — plus the bound the bounded engine would search
+        to.  Recorded in suite shard rows, cached result payloads and trace
+        span attributes.
+        """
+        return {
+            "coi_size": len(self.module.assigns) + len(self.module.registers),
+            "registers": len(self.module.registers),
+            "automaton_states": sum(a.state_count() for a in self.automata),
+            "bound": bound,
+            "formulas": len(self.formulas),
+            "free_signals": len(self.free_signals),
+            "sliced": self.sliced,
+            "slice_ratio": round(self.slice_ratio, 4),
+        }
 
     def cache_extra(self) -> Tuple[str, ...]:
         """Extra cache-key components beyond the sliced module + formulas.
@@ -201,54 +244,100 @@ def _problem_fingerprint(
     return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
 
 
+def _should_slice(module: Module, cone, slicing) -> bool:
+    """Resolve a slicing mode against the measured cone.
+
+    ``True``/``False`` are honoured verbatim (differential tests rely on
+    forcing both modes); ``"auto"`` skips the slice when the cone covers at
+    least :data:`AUTO_SLICE_THRESHOLD` of the registers (of the driven
+    signals, for register-free modules) — at that coverage the slice is a
+    near-copy of the module and only costs compile time and memoization
+    identity.
+    """
+    if not isinstance(slicing, str):
+        return bool(slicing)
+    total = len(module.registers)
+    kept = sum(1 for name in module.registers if name in cone)
+    if not total:
+        total = len(module.assigns)
+        kept = sum(1 for name in module.assigns if name in cone)
+    if not total:
+        return False
+    return kept < AUTO_SLICE_THRESHOLD * total
+
+
 def compile_problem(
     module: Module,
     formulas: Sequence[Formula],
     *,
     observe: Sequence[str] = (),
-    slicing: bool = True,
+    slicing="auto",
 ) -> CompiledProblem:
     """Compile one existential query into a :class:`CompiledProblem`.
 
     ``observe`` lists signals that must stay in the slice (and in witness
     traces) even when no formula mentions them — the gap pipeline passes the
     ``APR`` alphabet so uncovered terms can still be projected onto it, and
-    the suite's observability shards pass their target signal.  The result is
-    memoized on the structural identity of ``(module, formulas, observe,
-    slicing)``.
+    the suite's observability shards pass their target signal.
+
+    ``slicing`` is ``True`` (always slice), ``False`` (never) or the default
+    ``"auto"``: slice only when the cone of influence drops a meaningful part
+    of the module (see :func:`_should_slice`) — the adaptive guard against
+    the measured regression where slicing near-full cones was a net slowdown.
+    The result is memoized on the structural identity of ``(module, formulas,
+    observe, slicing)``.
     """
     formulas = tuple(formulas)
     observed = tuple(sorted(set(observe)))
 
     from ..runner.cache import module_fingerprint
 
-    key = (module_fingerprint(module), formulas, observed, bool(slicing))
+    mode = slicing if isinstance(slicing, str) else bool(slicing)
+    key = (module_fingerprint(module), formulas, observed, mode)
     with _COMPILE_LOCK:
         cached = _COMPILE_CACHE.get(key)
         if cached is not None:
             _COMPILE_STATS.hits += 1
             _COMPILE_CACHE.move_to_end(key)
+            metrics().inc("compile.cache_hits")
             return cached
         _COMPILE_STATS.misses += 1
+    metrics().inc("compile.cache_misses")
 
-    if slicing:
-        seed = set(atom_support(formulas)) | set(observed)
-        sliced = module.slice_for(seed)
-    else:
+    with span("compile_problem", design=module.name, slicing=str(mode)) as sp:
         sliced = module
-    free_signals = _free_partition(sliced, formulas, observed)
-    problem = CompiledProblem(
-        module=sliced,
-        formulas=formulas,
-        automata=compiled_automata(formulas),
-        free_signals=free_signals,
-        observed=observed,
-        fingerprint=_problem_fingerprint(sliced, formulas, free_signals),
-        sliced=bool(slicing),
-        source_name=module.name,
-        dropped_assigns=len(module.assigns) - len(sliced.assigns),
-        dropped_registers=len(module.registers) - len(sliced.registers),
-    )
+        do_slice = bool(slicing)
+        if do_slice:
+            seed = set(atom_support(formulas)) | set(observed)
+            cone = module.cone_of_influence(seed)
+            do_slice = _should_slice(module, cone, slicing)
+            if do_slice:
+                sliced = module.slice_for(seed)
+            elif mode == "auto" and bool(slicing):
+                metrics().inc("compile.slice_skipped")
+        free_signals = _free_partition(sliced, formulas, observed)
+        problem = CompiledProblem(
+            module=sliced,
+            formulas=formulas,
+            automata=compiled_automata(formulas),
+            free_signals=free_signals,
+            observed=observed,
+            fingerprint=_problem_fingerprint(sliced, formulas, free_signals),
+            sliced=do_slice,
+            source_name=module.name,
+            dropped_assigns=len(module.assigns) - len(sliced.assigns),
+            dropped_registers=len(module.registers) - len(sliced.registers),
+        )
+        sp.set(
+            coi_size=len(sliced.assigns) + len(sliced.registers),
+            registers=len(sliced.registers),
+            automaton_states=sum(a.state_count() for a in problem.automata),
+            slice_ratio=round(problem.slice_ratio, 4),
+            sliced=do_slice,
+        )
+    metrics().inc("compile.problems")
+    if do_slice:
+        metrics().inc("compile.sliced")
     with _COMPILE_LOCK:
         if len(_COMPILE_CACHE) >= _COMPILE_CACHE_LIMIT:
             _COMPILE_CACHE.popitem(last=False)

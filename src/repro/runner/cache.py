@@ -32,11 +32,18 @@ import hashlib
 import json
 import os
 import tempfile
+from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+try:  # POSIX only; the sidecar merge degrades to lockless on other platforms
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None
+
 from ..logic.boolexpr import AndExpr, BoolExpr, Const, NotExpr, OrExpr, Var, XorExpr
+from ..obs import metrics
 from ..ltl.ast import (
     Always,
     And,
@@ -284,6 +291,11 @@ class CachedRunResult:
     #: ``None`` means "the replaying engine's own completeness applies".
     complete: Optional[bool] = None
     winner: Optional[str] = None
+    #: Feature / per-phase timing records captured when the query was first
+    #: decided (the learned-scheduler training data); ``None`` on entries
+    #: written before the records existed.
+    features: Optional[dict] = None
+    timings: Optional[dict] = None
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return self.satisfiable
@@ -298,6 +310,8 @@ class CachedRunResult:
             elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
             complete=payload.get("complete"),
             winner=payload.get("winner"),
+            features=payload.get("features"),
+            timings=payload.get("timings"),
         )
 
 
@@ -306,20 +320,22 @@ class CachedRunResult:
 
 @dataclass
 class CacheStats:
-    """Hit/miss/store counters of one :class:`ResultCache`."""
+    """Hit/miss/store/eviction counters of one :class:`ResultCache`."""
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    evictions: int = 0
 
     def snapshot(self) -> "CacheStats":
-        return CacheStats(self.hits, self.misses, self.stores)
+        return CacheStats(self.hits, self.misses, self.stores, self.evictions)
 
     def delta(self, earlier: "CacheStats") -> "CacheStats":
         return CacheStats(
             self.hits - earlier.hits,
             self.misses - earlier.misses,
             self.stores - earlier.stores,
+            self.evictions - earlier.evictions,
         )
 
     @property
@@ -339,11 +355,30 @@ class ResultCache:
     sharing a directory never observe torn writes — and because query results
     are deterministic, two workers racing on the same key write identical
     payloads.  Unreadable or corrupt entries are treated as misses.
+
+    The memory layer is a bounded LRU (``memory_limit`` entries, ``None`` =
+    unbounded): a directory-backed cache can always refill from disk, so
+    evicting the least-recently-used payloads keeps long suite runs from
+    holding every witness trace in RAM.  Memory-only caches default to
+    unbounded — there is no disk layer to refill from.  Every lookup / store /
+    eviction is mirrored into the process metrics registry
+    (``result_cache.*``).
     """
 
-    def __init__(self, cache_dir: Optional[str] = None):
+    #: Default memory-layer bound of directory-backed caches.
+    DEFAULT_MEMORY_LIMIT = 4096
+
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        *,
+        memory_limit: Optional[int] = None,
+    ):
         self.cache_dir = os.path.abspath(cache_dir) if cache_dir else None
-        self._memory: Dict[str, dict] = {}
+        if memory_limit is None and self.cache_dir:
+            memory_limit = self.DEFAULT_MEMORY_LIMIT
+        self.memory_limit = memory_limit
+        self._memory: "OrderedDict[str, dict]" = OrderedDict()
         self.stats = CacheStats()
         if self.cache_dir:
             os.makedirs(self.cache_dir, exist_ok=True)
@@ -352,39 +387,45 @@ class ResultCache:
         assert self.cache_dir is not None
         return os.path.join(self.cache_dir, key[:2], key + ".json")
 
+    def _remember(self, key: str, payload: dict) -> None:
+        self._memory[key] = payload
+        self._memory.move_to_end(key)
+        if self.memory_limit is not None and len(self._memory) > self.memory_limit:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+            metrics().inc("result_cache.evictions")
+
     def get(self, key: str) -> Optional[dict]:
         """The stored payload for ``key``, or ``None`` (counted as hit/miss)."""
         payload = self._memory.get(key)
-        if payload is None and self.cache_dir:
+        if payload is not None:
+            self._memory.move_to_end(key)
+        elif self.cache_dir:
             try:
                 with open(self._path(key), "r", encoding="utf-8") as handle:
                     payload = json.load(handle)
             except (OSError, ValueError):
                 payload = None
             else:
-                self._memory[key] = payload
+                self._remember(key, payload)
         if payload is None:
             self.stats.misses += 1
+            metrics().inc("result_cache.misses")
         else:
             self.stats.hits += 1
+            metrics().inc("result_cache.hits")
         return payload
 
     def put(self, key: str, payload: dict) -> None:
         """Store a payload in memory and (when configured) on disk."""
-        self._memory[key] = payload
+        self._remember(key, payload)
         self.stats.stores += 1
+        metrics().inc("result_cache.stores")
         if not self.cache_dir:
             return
         path = self._path(key)
-        directory = os.path.dirname(path)
         try:
-            os.makedirs(directory, exist_ok=True)
-            handle = tempfile.NamedTemporaryFile(
-                "w", dir=directory, prefix=".tmp-", suffix=".json", delete=False, encoding="utf-8"
-            )
-            with handle:
-                json.dump(payload, handle, sort_keys=True)
-            os.replace(handle.name, path)
+            _atomic_write_json(path, payload)
         except OSError:  # pragma: no cover - disk full / permissions
             pass
 
@@ -410,10 +451,61 @@ class ResultCache:
 #: Sidecar file of cumulative hit counters; the leading dot keeps it out of
 #: :meth:`ResultCache.disk_entry_count`.
 STATS_FILENAME = ".stats.json"
+#: Lock file guarding the sidecar's read-modify-write (POSIX flock).
+STATS_LOCK_FILENAME = ".stats.lock"
+
+
+def _atomic_write_json(path: str, payload: dict) -> None:
+    """Write ``payload`` to ``path`` via temp file + :func:`os.replace`.
+
+    The shared write path of cache entries and the stats sidecar: readers
+    never observe a torn file.  Raises :class:`OSError` on failure; callers
+    decide whether that is fatal.
+    """
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    handle = tempfile.NamedTemporaryFile(
+        "w", dir=directory or ".", prefix=".tmp-", suffix=".json",
+        delete=False, encoding="utf-8",
+    )
+    try:
+        with handle:
+            json.dump(payload, handle, sort_keys=True)
+        os.replace(handle.name, path)
+    except OSError:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+
+
+@contextmanager
+def _stats_lock(directory: str) -> Iterator[None]:
+    """Hold the sidecar's flock while merging (no-op where flock is missing)."""
+    if fcntl is None:  # pragma: no cover - non-POSIX
+        yield
+        return
+    lock_path = os.path.join(directory, STATS_LOCK_FILENAME)
+    try:
+        fd = os.open(lock_path, os.O_WRONLY | os.O_CREAT, 0o644)
+    except OSError:  # pragma: no cover - permissions
+        yield
+        return
+    try:
+        fcntl.flock(fd, fcntl.LOCK_EX)
+        yield
+    finally:
+        try:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+        except OSError:  # pragma: no cover
+            pass
+        os.close(fd)
 
 
 def read_persistent_stats(cache_dir: str) -> Dict[str, int]:
-    """Cumulative hit counters recorded for a cache directory (zeros if none)."""
+    """Cumulative counters recorded for a cache directory (zeros if none)."""
     path = os.path.join(os.path.abspath(cache_dir), STATS_FILENAME)
     try:
         with open(path, "r", encoding="utf-8") as handle:
@@ -423,30 +515,41 @@ def read_persistent_stats(cache_dir: str) -> Dict[str, int]:
     return {
         "hits": int(payload.get("hits", 0)),
         "misses": int(payload.get("misses", 0)),
+        "stores": int(payload.get("stores", 0)),
+        "evictions": int(payload.get("evictions", 0)),
     }
 
 
-def merge_persistent_stats(cache_dir: str, *, hits: int, misses: int) -> Dict[str, int]:
-    """Accumulate one run's hit/miss counters into the directory's sidecar.
+def merge_persistent_stats(
+    cache_dir: str,
+    *,
+    hits: int,
+    misses: int,
+    stores: int = 0,
+    evictions: int = 0,
+) -> Dict[str, int]:
+    """Accumulate one run's counters into the directory's sidecar.
 
-    Written atomically; concurrent runs may lose increments to each other,
-    which is acceptable for what is a usage gauge, not an accounting ledger.
+    The read-modify-write is serialised across processes with a ``flock`` on
+    a lock file next to the sidecar, and the sidecar itself is replaced
+    atomically — concurrent suite runs sharing a cache directory neither
+    tear the file nor lose each other's increments.
     """
     directory = os.path.abspath(cache_dir)
-    totals = read_persistent_stats(directory)
-    totals["hits"] += int(hits)
-    totals["misses"] += int(misses)
-    path = os.path.join(directory, STATS_FILENAME)
     try:
         os.makedirs(directory, exist_ok=True)
-        handle = tempfile.NamedTemporaryFile(
-            "w", dir=directory, prefix=".tmp-", suffix=".json", delete=False, encoding="utf-8"
-        )
-        with handle:
-            json.dump(totals, handle, sort_keys=True)
-        os.replace(handle.name, path)
-    except OSError:  # pragma: no cover - disk full / permissions
+    except OSError:  # pragma: no cover - permissions
         pass
+    with _stats_lock(directory):
+        totals = read_persistent_stats(directory)
+        totals["hits"] += int(hits)
+        totals["misses"] += int(misses)
+        totals["stores"] += int(stores)
+        totals["evictions"] += int(evictions)
+        try:
+            _atomic_write_json(os.path.join(directory, STATS_FILENAME), totals)
+        except OSError:  # pragma: no cover - disk full / permissions
+            pass
     return totals
 
 
@@ -475,6 +578,8 @@ def cache_dir_stats(cache_dir: str) -> Dict[str, object]:
         "size_bytes": size_bytes,
         "hits": counters["hits"],
         "misses": counters["misses"],
+        "stores": counters["stores"],
+        "evictions": counters["evictions"],
         "hit_ratio": counters["hits"] / lookups if lookups else 0.0,
     }
 

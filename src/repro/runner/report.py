@@ -3,16 +3,66 @@
 The JSON shape is the machine contract used by CI (cache-effectiveness
 assertions) and by the benchmark harness; the markdown table is meant for
 dropping into PRs/issues; the text form is the default CLI output.
+
+``suite --profile`` adds a per-design phase breakdown built from the shard
+``timings`` records (:func:`profile_suite`): total wall seconds per span name
+per design, and the slowest phase of each — the "where did the time go"
+answer BENCH_engines.json could not give.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from .suite import ShardResult, SuiteResult
 
-__all__ = ["suite_to_dict", "render_json", "render_markdown", "render_text"]
+__all__ = [
+    "suite_to_dict",
+    "render_json",
+    "render_markdown",
+    "render_text",
+    "profile_suite",
+]
+
+#: Wrapper spans excluded from "slowest phase": they enclose the real work
+#: phases and would otherwise always win.
+_WRAPPER_PHASES = frozenset({"engine_run"})
+
+
+def profile_suite(result: SuiteResult) -> Dict[str, object]:
+    """Per-design, per-phase wall-time breakdown of a suite run.
+
+    Sums the ``timings`` records of every ok shard by design and span name,
+    and names each design's ``slowest_phase`` (wrapper spans such as
+    ``engine_run`` are excluded from the ranking but kept in the table).
+    """
+    designs: Dict[str, Dict[str, float]] = {}
+    untimed = 0
+    for shard in result.shards:
+        if not shard.ok:
+            continue
+        if not shard.timings:
+            untimed += 1
+            continue
+        table = designs.setdefault(shard.job.design, {})
+        for name, seconds in shard.timings.items():
+            table[name] = round(table.get(name, 0.0) + seconds, 6)
+    profile: Dict[str, object] = {"designs": {}, "untimed_shards": untimed}
+    for design in sorted(designs):
+        table = designs[design]
+        ranked = [
+            (name, seconds)
+            for name, seconds in table.items()
+            if name not in _WRAPPER_PHASES
+        ]
+        slowest = max(ranked, key=lambda item: item[1], default=None)
+        profile["designs"][design] = {
+            "phases": dict(sorted(table.items())),
+            "slowest_phase": slowest[0] if slowest else None,
+            "slowest_seconds": round(slowest[1], 6) if slowest else 0.0,
+        }
+    return profile
 
 
 def _verdict_text(shard: ShardResult) -> str:
@@ -27,10 +77,10 @@ def _verdict_text(shard: ShardResult) -> str:
     return text
 
 
-def suite_to_dict(result: SuiteResult) -> Dict[str, object]:
+def suite_to_dict(result: SuiteResult, *, profile: bool = False) -> Dict[str, object]:
     """The canonical JSON-ready representation of a suite run."""
     counts = result.counts()
-    return {
+    payload = {
         "workers": result.workers,
         "wall_seconds": round(result.wall_seconds, 4),
         "shard_count": len(result.shards),
@@ -40,18 +90,43 @@ def suite_to_dict(result: SuiteResult) -> Dict[str, object]:
             "dir": result.cache_dir,
             "hits": result.cache_hits,
             "misses": result.cache_misses,
+            "stores": result.cache_stores,
+            "evictions": result.cache_evictions,
             "hit_ratio": round(result.cache_hit_ratio, 4),
         },
         "verdicts": {job_id: verdict for job_id, verdict in sorted(result.verdicts().items())},
         "shards": [shard.row() for shard in result.shards],
     }
+    if profile:
+        payload["profile"] = profile_suite(result)
+    return payload
 
 
-def render_json(result: SuiteResult) -> str:
-    return json.dumps(suite_to_dict(result), indent=2, sort_keys=False)
+def render_json(result: SuiteResult, *, profile: bool = False) -> str:
+    return json.dumps(suite_to_dict(result, profile=profile), indent=2, sort_keys=False)
 
 
-def render_markdown(result: SuiteResult) -> str:
+def _profile_lines_markdown(result: SuiteResult) -> List[str]:
+    profile = profile_suite(result)
+    lines = [
+        "",
+        "## Profile (per design, wall seconds per phase)",
+        "",
+        "| design | slowest phase | s | phases |",
+        "|---|---|---:|---|",
+    ]
+    for design, entry in profile["designs"].items():
+        phase_text = ", ".join(
+            f"{name}={seconds:.3f}" for name, seconds in entry["phases"].items()
+        )
+        lines.append(
+            f"| {design} | {entry['slowest_phase'] or '-'} "
+            f"| {entry['slowest_seconds']:.3f} | {phase_text} |"
+        )
+    return lines
+
+
+def render_markdown(result: SuiteResult, *, profile: bool = False) -> str:
     lines: List[str] = [
         "# Coverage suite report",
         "",
@@ -71,10 +146,33 @@ def render_markdown(result: SuiteResult) -> str:
             f"| {_verdict_text(shard)} | {shard.elapsed_seconds:.3f} "
             f"| {shard.cache_hits}/{shard.cache_misses} |"
         )
+    if profile:
+        lines.extend(_profile_lines_markdown(result))
     return "\n".join(lines)
 
 
-def render_text(result: SuiteResult) -> str:
+def _profile_lines_text(result: SuiteResult) -> List[str]:
+    profile = profile_suite(result)
+    lines = ["", "-- profile (wall seconds per phase, per design) --"]
+    designs = profile["designs"]
+    if not designs:
+        lines.append("(no timed shards)")
+        return lines
+    width = max(len(design) for design in designs)
+    for design, entry in designs.items():
+        phase_text = "  ".join(
+            f"{name}={seconds:.3f}" for name, seconds in entry["phases"].items()
+        )
+        lines.append(f"{design:<{width}}  {phase_text}")
+        if entry["slowest_phase"]:
+            lines.append(
+                f"{'':<{width}}  slowest: {entry['slowest_phase']} "
+                f"({entry['slowest_seconds']:.3f} s)"
+            )
+    return lines
+
+
+def render_text(result: SuiteResult, *, profile: bool = False) -> str:
     counts = result.counts()
     lines: List[str] = [
         f"== coverage suite: {len(result.shards)} shards, "
@@ -97,5 +195,7 @@ def render_text(result: SuiteResult) -> str:
         )
     else:
         lines.append("cache : disabled")
+    if profile:
+        lines.extend(_profile_lines_text(result))
     lines.append("(* = bounded verdict: holds up to the BMC bound only)")
     return "\n".join(lines)

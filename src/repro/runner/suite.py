@@ -47,6 +47,7 @@ from ..designs.random import RandomDesignSpec, random_problem
 from ..engines.coverage import get_engine
 from ..engines.prop import using_prop_backend
 from ..ltl.ast import Atom, Eventually
+from ..obs import PhaseAggregator
 from .cache import CacheStats, ResultCache, cache_for_dir, set_result_cache, using_result_cache
 
 __all__ = [
@@ -74,7 +75,8 @@ class CoverageJob:
     engine: str = "explicit"
     prop_backend: str = "auto"
     bound: int = 12
-    slicing: bool = True
+    #: ``True`` / ``False`` / ``"auto"`` (see :mod:`repro.problem`).
+    slicing: object = "auto"
     random_spec: Optional[RandomDesignSpec] = None
 
     @property
@@ -114,10 +116,17 @@ class ShardResult:
     elapsed_seconds: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    cache_stores: int = 0
+    cache_evictions: int = 0
     detail: str = ""
     worker_pid: int = 0
     #: The member engine that produced the verdict (portfolio shards only).
     winner: Optional[str] = None
+    #: Feature record of this shard's compiled query (coi_size, registers,
+    #: automaton_states, bound, ...) — the learned-scheduler substrate.
+    features: Optional[Dict[str, object]] = None
+    #: Span name → wall seconds spent per phase while deciding this shard.
+    timings: Optional[Dict[str, float]] = None
 
     @property
     def ok(self) -> bool:
@@ -137,8 +146,11 @@ class ShardResult:
             "elapsed_seconds": round(self.elapsed_seconds, 4),
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "cache_stores": self.cache_stores,
             "detail": self.detail,
             "winner": self.winner,
+            "features": self.features,
+            "timings": self.timings,
         }
 
 
@@ -159,6 +171,14 @@ class SuiteResult:
     @property
     def cache_misses(self) -> int:
         return sum(shard.cache_misses for shard in self.shards)
+
+    @property
+    def cache_stores(self) -> int:
+        return sum(shard.cache_stores for shard in self.shards)
+
+    @property
+    def cache_evictions(self) -> int:
+        return sum(shard.cache_evictions for shard in self.shards)
 
     @property
     def cache_hit_ratio(self) -> float:
@@ -186,7 +206,7 @@ def expand_jobs(
     engine: str = "explicit",
     prop_backend: str = "auto",
     bound: int = 12,
-    slicing: bool = True,
+    slicing="auto",
     include_signals: bool = True,
     random_count: int = 0,
     random_seed: int = 0,
@@ -239,8 +259,8 @@ def _alarm_handler(signum, frame):  # pragma: no cover - exercised via timeouts
     raise _ShardTimeout()
 
 
-def _answer(job: CoverageJob) -> Tuple[bool, bool, str, Optional[str]]:
-    """Decide one shard; returns ``(verdict, complete, detail, winner)``."""
+def _answer(job: CoverageJob) -> Tuple[bool, bool, str, Optional[str], Optional[dict]]:
+    """Decide one shard; returns ``(verdict, complete, detail, winner, features)``."""
     problem = job.problem()
     engine = get_engine(job.engine, max_bound=job.bound, slicing=job.slicing)
     with using_prop_backend(job.prop_backend):
@@ -248,11 +268,22 @@ def _answer(job: CoverageJob) -> Tuple[bool, bool, str, Optional[str]]:
             verdict = engine.check_primary(
                 problem, architectural=problem.architectural[job.index]
             )
-            return bool(verdict.covered), bool(verdict.complete), "", verdict.winner
+            features = _shard_features(verdict.features, job)
+            return (
+                bool(verdict.covered),
+                bool(verdict.complete),
+                "",
+                verdict.winner,
+                features,
+            )
         if job.kind == "signal":
             module = problem.composed_module()
             formulas = problem.all_rtl_formulas() + [Eventually(Atom(job.target))]
-            result = engine.find_run(module, formulas, observe=(job.target,))
+            # Compile explicitly (memoized, so free when find_run recompiles)
+            # so the shard row carries the query's feature record.
+            compiled = engine.compile(module, formulas, observe=(job.target,))
+            features = _shard_features(compiled.features(), job)
+            result = engine.find_run(compiled)
             observable = bool(result.satisfiable)
             result_complete = getattr(result, "complete", None)
             if result_complete is None:
@@ -263,8 +294,24 @@ def _answer(job: CoverageJob) -> Tuple[bool, bool, str, Optional[str]]:
                 result_complete or observable,
                 "",
                 getattr(result, "winner", None),
+                features,
             )
     raise ValueError(f"unknown shard kind {job.kind!r}")
+
+
+def _shard_features(features: Optional[dict], job: CoverageJob) -> Optional[dict]:
+    """Fill the job's bound into a feature record when the engine has none.
+
+    Complete engines key their caches without a bound, so their feature
+    records carry ``bound=None``; the scheduler substrate still wants the
+    configured suite bound for every row.
+    """
+    if features is None:
+        return None
+    if features.get("bound") is None:
+        features = dict(features)
+        features["bound"] = job.bound
+    return features
 
 
 def execute_shard(job: CoverageJob, timeout: Optional[float] = None) -> ShardResult:
@@ -278,6 +325,8 @@ def execute_shard(job: CoverageJob, timeout: Optional[float] = None) -> ShardRes
     before = cache.stats.snapshot() if cache else CacheStats()
     start = time.perf_counter()
     status, verdict, complete, detail, winner = "ok", None, True, "", None
+    features: Optional[dict] = None
+    timings: Optional[dict] = None
     import threading
 
     use_alarm = (
@@ -302,7 +351,12 @@ def execute_shard(job: CoverageJob, timeout: Optional[float] = None) -> ShardRes
             # disarmed, so a timed-out shard cannot sneak through as "ok".
             _signal.setitimer(_signal.ITIMER_REAL, timeout, 0.05)
         try:
-            verdict, complete, detail, winner = _answer(job)
+            # The aggregator collects every span closed while this shard
+            # decides — engine phases, compile, SAT — into the per-query
+            # ``timings`` record, with or without a --trace exporter.
+            with PhaseAggregator() as phases:
+                verdict, complete, detail, winner, features = _answer(job)
+            timings = phases.timings()
         finally:
             if use_alarm:
                 _signal.setitimer(_signal.ITIMER_REAL, 0)
@@ -323,9 +377,13 @@ def execute_shard(job: CoverageJob, timeout: Optional[float] = None) -> ShardRes
         elapsed_seconds=elapsed,
         cache_hits=delta.hits,
         cache_misses=delta.misses,
+        cache_stores=delta.stores,
+        cache_evictions=delta.evictions,
         detail=detail,
         worker_pid=os.getpid(),
         winner=winner if status == "ok" else None,
+        features=features if status == "ok" else None,
+        timings=timings if status == "ok" else None,
     )
 
 
@@ -352,9 +410,19 @@ def _select_cache(cache_dir: Optional[str], use_cache: bool) -> Optional[ResultC
     return active_result_cache() or ResultCache()
 
 
-def _worker_init(cache_dir: Optional[str], use_cache: bool) -> None:
-    """Per-worker setup: install the (shared-directory) result cache."""
+def _worker_init(
+    cache_dir: Optional[str], use_cache: bool, trace: Optional[str] = None
+) -> None:
+    """Per-worker setup: install the result cache and the trace exporter.
+
+    Workers append to the *same* trace file as the parent (O_APPEND keeps
+    lines whole) and flush their own metrics record at process exit.
+    """
     set_result_cache(_select_cache(cache_dir, use_cache))
+    if trace:
+        from ..obs import install_trace_exporter
+
+        install_trace_exporter(trace)
 
 
 def _worker_shard(job: CoverageJob, timeout: Optional[float]) -> ShardResult:
@@ -368,15 +436,21 @@ def run_suite(
     cache_dir: Optional[str] = None,
     use_cache: bool = True,
     shard_timeout: Optional[float] = None,
+    trace: Optional[str] = None,
 ) -> SuiteResult:
     """Execute the shards and assemble a :class:`SuiteResult`.
 
     ``workers <= 1`` runs serially in-process (the debugging fallback: plain
     tracebacks, no subprocesses); otherwise shards are distributed over a
     process pool whose workers share the persistent cache directory.  Results
-    are always assembled in canonical job order.
+    are always assembled in canonical job order.  ``trace`` names a JSONL
+    file every worker appends its spans (and final metrics record) to.
     """
     ordered = sorted(jobs, key=CoverageJob.sort_key)
+    if trace:
+        from ..obs import install_trace_exporter
+
+        install_trace_exporter(trace)
     start = time.perf_counter()
     if workers <= 1:
         with using_result_cache(_select_cache(cache_dir, use_cache)):
@@ -385,7 +459,7 @@ def run_suite(
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_worker_init,
-            initargs=(cache_dir, use_cache),
+            initargs=(cache_dir, use_cache, trace),
         ) as pool:
             futures = [pool.submit(_worker_shard, job, shard_timeout) for job in ordered]
             shards = [future.result() for future in futures]
@@ -403,6 +477,10 @@ def run_suite(
         from .cache import merge_persistent_stats
 
         merge_persistent_stats(
-            cache_dir, hits=result.cache_hits, misses=result.cache_misses
+            cache_dir,
+            hits=result.cache_hits,
+            misses=result.cache_misses,
+            stores=result.cache_stores,
+            evictions=result.cache_evictions,
         )
     return result

@@ -323,7 +323,29 @@ class SatSolver:
         is exceeded the search is abandoned and the result reports
         unsatisfiable with ``conflicts`` equal to the limit — callers that
         need completeness must leave it unset.
+
+        Every call is recorded in the process metrics registry
+        (``sat.solves`` and the aggregate search counters) — cheap relative
+        to any non-trivial search, and the substrate for ``--trace`` /
+        per-query solver statistics.
         """
+        result = self._solve(assumptions, max_conflicts=max_conflicts)
+        from ..obs import metrics
+
+        registry = metrics()
+        registry.inc("sat.solves")
+        registry.inc("sat.decisions", result.decisions)
+        registry.inc("sat.conflicts", result.conflicts)
+        registry.inc("sat.propagations", result.propagations)
+        registry.inc("sat.restarts", result.restarts)
+        return result
+
+    def _solve(
+        self,
+        assumptions: Sequence[Literal] = (),
+        *,
+        max_conflicts: Optional[int] = None,
+    ) -> SatResult:
         stats = self._result_stats
         if self._empty_clause:
             return SatResult(False)

@@ -44,6 +44,51 @@ class TestCancellation:
             check_cancelled()  # outer token is clear again
 
 
+class TestPollCounters:
+    def test_polls_counted_per_member(self):
+        token = CancelToken()
+        with using_cancel_token(token, member="bmc"):
+            for _ in range(5):
+                check_cancelled()
+        snap = token.progress_snapshot()
+        assert snap == {"bmc": {"polls": 5, "polls_after_cancel": 0}}
+
+    def test_cancel_observed_at_first_poll(self):
+        token = CancelToken()
+        with using_cancel_token(token, member="explicit"):
+            check_cancelled()
+            token.cancel()
+            with pytest.raises(Cancelled):
+                check_cancelled()
+        snap = token.progress_snapshot()
+        # Cooperative shutdown: the member dies at its first poll after the
+        # cancel, so exactly one poll lands past the cancellation point.
+        assert snap["explicit"]["polls"] == 2
+        assert snap["explicit"]["polls_after_cancel"] == 1
+
+    def test_anonymous_polls_are_not_counted(self):
+        token = CancelToken()
+        with using_cancel_token(token):  # no member name
+            check_cancelled()
+        assert token.progress_snapshot() == {}
+
+    def test_parallel_race_reports_loser_progress(self):
+        # A real race: the result must carry the per-member snapshot, and no
+        # losing member may keep polling past the handful it needs to observe
+        # the winner's cancellation.
+        problem = get_design("paper_example").builder()
+        engine = get_engine("portfolio", max_bound=_BMC_BOUND)
+        compiled = engine.compile(
+            problem.composed_module(), list(problem.rtl_properties)
+        )
+        result = engine.find_run(compiled)
+        assert result.progress is not None
+        for member, entry in result.progress.items():
+            assert member in ("explicit", "bmc", "symbolic")
+            assert entry["polls"] >= 1
+            assert entry["polls_after_cancel"] <= 2, (member, entry)
+
+
 class TestRegistry:
     def test_aliases(self):
         assert isinstance(get_engine("portfolio"), PortfolioEngine)

@@ -118,6 +118,63 @@ class TestCompileProblem:
         assert "sliced away" in problem.summary()
 
 
+class TestAutoSlicing:
+    def test_auto_slices_a_narrow_cone(self):
+        module = _two_channel_module()
+        compiled = compile_problem(module, [parse("F o1")], slicing="auto")
+        # The cone covers 1 of 2 registers (50% < 90%): auto must slice.
+        assert compiled.sliced
+        assert set(compiled.module.registers) == {"r1"}
+        assert compiled.slice_ratio == 0.5
+
+    def test_auto_skips_a_full_cone(self):
+        module = _two_channel_module()
+        compiled = compile_problem(
+            module, [parse("F (o1 & o2)")], slicing="auto"
+        )
+        # Both registers are in the cone (100% >= 90%): auto must skip the
+        # slice entirely and keep the original module object.
+        assert not compiled.sliced
+        assert compiled.module is module
+        assert compiled.slice_ratio == 1.0
+
+    def test_forced_true_slices_even_a_full_cone(self):
+        module = _two_channel_module()
+        compiled = compile_problem(
+            module, [parse("F (o1 & o2)")], slicing=True
+        )
+        # slicing=True is honoured verbatim: a new (equal) module is built.
+        assert compiled.sliced
+        assert compiled.module is not module
+        assert set(compiled.module.registers) == {"r1", "r2"}
+
+    def test_auto_is_the_default(self):
+        # A distinct formula shape dodges the compile memo of the tests above.
+        module = _two_channel_module()
+        implicit = compile_problem(module, [parse("G F (o1 & o2)")])
+        assert not implicit.sliced
+        assert implicit.module is module
+
+    def test_feature_record_contents(self):
+        module = _two_channel_module()
+        compiled = compile_problem(module, [parse("F o1")], slicing="auto")
+        features = compiled.features(bound=12)
+        assert features["coi_size"] == len(compiled.module.assigns) + len(
+            compiled.module.registers
+        )
+        assert features["registers"] == 1
+        assert features["automaton_states"] >= 1
+        assert features["bound"] == 12
+        assert features["formulas"] == 1
+        assert features["sliced"] is True
+        assert features["slice_ratio"] == 0.5
+
+    def test_feature_record_bound_defaults_to_none(self):
+        module = _two_channel_module()
+        compiled = compile_problem(module, [parse("F o1")])
+        assert compiled.features()["bound"] is None
+
+
 class TestRealDesignCompile:
     def test_telemetry_bank_slices_away_telemetry(self):
         problem = build_telemetry_bank()

@@ -187,7 +187,9 @@ class TestReports:
         payload = json.loads(render_json(result))
         assert payload["shard_count"] == len(result.shards)
         assert payload["counts"]["ok"] == len(result.shards)
-        assert set(payload["cache"]) == {"enabled", "dir", "hits", "misses", "hit_ratio"}
+        assert set(payload["cache"]) == {
+            "enabled", "dir", "hits", "misses", "stores", "evictions", "hit_ratio",
+        }
         assert payload["verdicts"] == {
             key: value for key, value in sorted(result.verdicts().items())
         }
