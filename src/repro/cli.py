@@ -17,6 +17,9 @@ Sub-commands
     worker pool with a persistent result cache; report as text/JSON/markdown.
 ``specmatcher cache``
     Inspect (``stats``) or wipe (``clear``) the persistent result cache.
+``specmatcher sched``
+    Train (``train``), inspect (``show``) or evaluate (``eval``) the learned
+    engine-scheduler model consumed by ``--engine auto``.
 
 ``specmatcher --version`` prints the package version (from the installed
 package metadata when available).
@@ -90,8 +93,19 @@ def build_parser() -> argparse.ArgumentParser:
             default="explicit",
             help=(
                 "primary-coverage engine: explicit-state nested DFS, bounded SAT, "
-                "symbolic BDD fixpoint, or portfolio (alias race: all three "
-                "concurrently, first decisive verdict wins)"
+                "symbolic BDD fixpoint, portfolio (alias race: all three "
+                "concurrently, first decisive verdict wins), or auto (alias "
+                "learned: a trained scheduler picks the engine per query, "
+                "racing only when unsure; see --sched-model)"
+            ),
+        )
+        sub_parser.add_argument(
+            "--sched-model",
+            metavar="FILE",
+            default=None,
+            help=(
+                "trained scheduler model for the auto engine (written by "
+                "`specmatcher sched train`); without one, auto always races"
             ),
         )
         sub_parser.add_argument(
@@ -209,6 +223,88 @@ def build_parser() -> argparse.ArgumentParser:
         default=".specmatcher_cache",
         help="result-cache directory (default: %(default)s, the suite's default)",
     )
+
+    sched_parser = sub.add_parser(
+        "sched",
+        parents=[common],
+        help="train / inspect / evaluate the learned engine-scheduler model",
+    )
+    sched_parser.add_argument(
+        "action",
+        choices=("train", "show", "eval"),
+        help=(
+            "train: fit a model from recorded feature/winner rows; "
+            "show: describe a model; eval: misprediction rate on rows"
+        ),
+    )
+    sched_parser.add_argument(
+        "--from-report",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="suite JSON report to read training rows from (repeatable)",
+    )
+    sched_parser.add_argument(
+        "--from-cache",
+        action="append",
+        default=[],
+        metavar="DIR",
+        help="result-cache directory to read training rows from (repeatable)",
+    )
+    sched_parser.add_argument(
+        "--from-trace",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="JSONL trace to read training rows from (repeatable)",
+    )
+    sched_parser.add_argument(
+        "--include-solo",
+        action="store_true",
+        help=(
+            "also train/evaluate on solo auto rows (no counterfactual: the "
+            "recorded winner is whatever the model predicted; default skips them)"
+        ),
+    )
+    sched_parser.add_argument(
+        "--model",
+        metavar="FILE",
+        default="sched-model.json",
+        help="model file to read (show/eval) or write (train); default: %(default)s",
+    )
+    sched_parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="train: write the model here instead of --model",
+    )
+    sched_parser.add_argument(
+        "--max-rules", type=_non_negative_int, default=16,
+        help="train: decision-list size cap (default: %(default)s)",
+    )
+    sched_parser.add_argument(
+        "--min-support", type=_non_negative_int, default=1,
+        help="train: minimum rows a rule must cover (default: %(default)s)",
+    )
+    sched_parser.add_argument(
+        "--max-rate",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="eval: fail (exit 1) when the misprediction rate exceeds this",
+    )
+    sched_parser.add_argument(
+        "--confidence",
+        type=float,
+        default=None,
+        metavar="THRESHOLD",
+        help="eval: also report the rate restricted to confident predictions",
+    )
+    sched_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of text",
+    )
     return parser
 
 
@@ -219,6 +315,7 @@ def _options_from_args(args: argparse.Namespace, **overrides) -> CoverageOptions
         prop_backend=args.prop_backend,
         bmc_max_bound=args.bound,
         slicing=_slicing_from_args(args),
+        sched_model=getattr(args, "sched_model", None),
         **overrides,
     )
 
@@ -244,13 +341,28 @@ def _cmd_list() -> int:
 def _cmd_check(design: str, args: argparse.Namespace) -> int:
     entry = get_design(design)
     problem = entry.builder()
-    engine = get_engine(args.engine, max_bound=args.bound, slicing=_slicing_from_args(args))
+    engine = get_engine(
+        args.engine,
+        max_bound=args.bound,
+        slicing=_slicing_from_args(args),
+        model_path=args.sched_model,
+    )
     with using_prop_backend(args.prop_backend):
         verdict = engine.check_primary(problem)
     print(f"design   : {problem.name}")
     print(f"engine   : {verdict.engine}")
     if verdict.winner:
         print(f"winner   : {verdict.winner}")
+    if verdict.sched:
+        sched = verdict.sched
+        line = f"sched    : mode={sched.get('mode')}"
+        if sched.get("predicted"):
+            line += (
+                f" predicted={'>'.join(sched['predicted'])}"
+                f" confidence={sched.get('confidence')}"
+                f" hit={sched.get('hit')}"
+            )
+        print(line)
     if verdict.covered and not verdict.complete:
         print(f"covered  : {verdict.covered} (up to bound {verdict.bound})")
     else:
@@ -299,6 +411,7 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         include_signals=not args.no_signals,
         random_count=args.random,
         random_seed=args.seed,
+        sched_model=args.sched_model,
     )
     result = run_suite(
         jobs,
@@ -370,6 +483,98 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled cache action {args.action!r}")  # pragma: no cover
 
 
+def _cmd_sched(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .sched import (
+        SchedModelError,
+        collect_rows,
+        evaluate,
+        load_model,
+        save_model,
+        train_predictor,
+    )
+
+    def rows():
+        collected = collect_rows(
+            reports=args.from_report,
+            cache_dirs=args.from_cache,
+            traces=args.from_trace,
+            include_solo=args.include_solo,
+        )
+        if not collected:
+            print(
+                "sched: no usable training rows — point --from-report / "
+                "--from-cache / --from-trace at artifacts of a portfolio or "
+                "auto run (rows need both a winner and a feature record)",
+                file=sys.stderr,
+            )
+        return collected
+
+    try:
+        if args.action == "train":
+            training = rows()
+            if not training:
+                return 1
+            model = train_predictor(
+                training, max_rules=args.max_rules, min_support=args.min_support
+            )
+            path = args.output or args.model
+            save_model(model, path)
+            if args.json:
+                print(_json.dumps({"model": path, **model.to_payload()}, sort_keys=True))
+            else:
+                print(f"wrote {path}")
+                print(model.describe())
+            return 0
+        if args.action == "show":
+            model = load_model(args.model)
+            if args.json:
+                print(_json.dumps(model.to_payload(), sort_keys=True))
+            else:
+                print(model.describe())
+            return 0
+        if args.action == "eval":
+            model = load_model(args.model)
+            sample = rows()
+            if not sample:
+                return 1
+            report = evaluate(model, sample, confidence_threshold=args.confidence)
+            if args.json:
+                print(_json.dumps(report, sort_keys=True))
+            else:
+                print(
+                    f"rows          : {report['rows']}\n"
+                    f"mispredictions: {report['mispredictions']}\n"
+                    f"rate          : {100.0 * report['rate']:.1f}%"
+                )
+                if args.confidence is not None:
+                    print(
+                        f"confident     : {report['confident_rows']} rows, "
+                        f"{report['confident_mispredictions']} misses "
+                        f"({100.0 * report['confident_rate']:.1f}%)"
+                    )
+                for name, stats in sorted(report["per_engine"].items()):
+                    print(
+                        f"  {name:<10} {stats['hits']}/{stats['rows']} predicted"
+                    )
+            if args.max_rate is not None and report["rate"] > args.max_rate:
+                print(
+                    f"sched: misprediction rate {report['rate']:.3f} exceeds "
+                    f"--max-rate {args.max_rate}",
+                    file=sys.stderr,
+                )
+                return 1
+            return 0
+        raise AssertionError(f"unhandled sched action {args.action!r}")  # pragma: no cover
+    except SchedModelError as exc:
+        print(f"sched: {exc}", file=sys.stderr)
+        return 1
+    except (OSError, ValueError) as exc:
+        print(f"sched: {exc}", file=sys.stderr)
+        return 1
+
+
 def _cmd_timing() -> int:
     design = build_full_mal_fig2()
     for title, stimulus in (
@@ -403,6 +608,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_suite(args)
         if args.command == "cache":
             return _cmd_cache(args)
+        if args.command == "sched":
+            return _cmd_sched(args)
         if args.command == "timing":
             return _cmd_timing()
         raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -11,9 +11,11 @@ Every decision query of the pipeline funnels through one of two registries:
   primary coverage question (Theorem 1) — via the explicit-state
   product/nested-DFS engine (:mod:`repro.mc`), the bounded SAT engine
   (:mod:`repro.bmc`), the fully symbolic BDD fixpoint engine
-  (:mod:`repro.mc.symbolic`), or the racing portfolio
+  (:mod:`repro.mc.symbolic`), the racing portfolio
   (:mod:`repro.engines.portfolio`: all three concurrently with cooperative
-  cancellation, first decisive verdict wins) — behind one
+  cancellation, first decisive verdict wins), or the learned scheduler
+  (:mod:`repro.engines.auto`: a trained predictor picks the engine per
+  query, racing only when unsure) — behind one
   ``check_primary(problem)`` interface.  Every engine consumes the compiled
   problem IR (:mod:`repro.problem`), so each query is cone-of-influence
   sliced and its automata are compiled once.
@@ -50,6 +52,7 @@ from .coverage import (
 )
 from .portfolio import PortfolioEngine
 from .symbolic import SymbolicEngine
+from .auto import AutoEngine
 
 __all__ = [
     "PropBackend",
@@ -69,6 +72,7 @@ __all__ = [
     "BmcEngine",
     "SymbolicEngine",
     "PortfolioEngine",
+    "AutoEngine",
     "get_engine",
     "engine_names",
     "engine_choices",

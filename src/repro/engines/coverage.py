@@ -66,11 +66,14 @@ class EngineVerdict:
     elapsed_seconds: float = 0.0
     bound: Optional[int] = None
     statistics: object = None
-    #: The member engine that produced the verdict (portfolio runs only).
+    #: The member engine that produced the verdict (portfolio/auto runs only).
     winner: Optional[str] = None
     #: Per-query feature record of the compiled problem (coi_size, registers,
     #: automaton_states, bound, ...) — the learned-scheduler substrate.
     features: Optional[Dict[str, object]] = None
+    #: Scheduler record (portfolio/auto runs only): race mode, predicted
+    #: ranking, confidence, and whether the prediction hit.
+    sched: Optional[Dict[str, object]] = None
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return self.covered
@@ -108,8 +111,13 @@ class CoverageEngine:
     #: True when a "covered" verdict is a full proof rather than bounded.
     complete: bool = True
 
-    def __init__(self, *, slicing="auto"):
+    def __init__(self, *, slicing="auto", max_bound: int = 12):
         self.slicing = slicing
+        #: The bound a bounded search would run to.  Complete engines never
+        #: use it to decide, but it is part of every engine's *feature
+        #: record* (suite shard rows, cached payloads): the scheduler wants
+        #: the configured bound on every training row, never ``None``.
+        self.max_bound = max_bound
 
     def compile(
         self,
@@ -192,7 +200,7 @@ class CoverageEngine:
         with PhaseAggregator() as phases:
             result = self._instrumented_run(problem)
         payload = encode_run_result(result)
-        payload["features"] = problem.features(bound=self._cache_bound())
+        payload["features"] = problem.features(bound=self.max_bound)
         payload["timings"] = phases.timings()
         cache.put(key, payload)
         return result
@@ -263,7 +271,8 @@ class CoverageEngine:
             bound=getattr(result, "bound", None),
             statistics=getattr(result, "statistics", None),
             winner=getattr(result, "winner", None),
-            features=compiled.features(bound=self._cache_bound()),
+            features=compiled.features(bound=self.max_bound),
+            sched=getattr(result, "sched", None),
         )
 
     def is_covered_with(
@@ -308,8 +317,7 @@ class BmcEngine(CoverageEngine):
     complete = False
 
     def __init__(self, *, max_bound: int = 12, slicing="auto"):
-        super().__init__(slicing=slicing)
-        self.max_bound = max_bound
+        super().__init__(slicing=slicing, max_bound=max_bound)
 
     def _cache_bound(self) -> Optional[int]:
         return self.max_bound
@@ -343,6 +351,7 @@ _ALIASES = {
     "sym": "symbolic",
     "bdd-fixpoint": "symbolic",
     "race": "portfolio",
+    "learned": "auto",
 }
 
 
@@ -404,4 +413,5 @@ def engine_from_options(options) -> CoverageEngine:
         getattr(options, "engine", "explicit"),
         max_bound=getattr(options, "bmc_max_bound", 12),
         slicing=getattr(options, "slicing", "auto"),
+        model_path=getattr(options, "sched_model", None),
     )

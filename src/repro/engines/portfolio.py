@@ -36,7 +36,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from ..ltl.traces import LassoTrace
-from ..obs import metrics
+from ..obs import metrics, span
 from .cancel import CancelToken, Cancelled, using_cancel_token
 from .coverage import CoverageEngine, get_engine, register_engine
 
@@ -77,6 +77,10 @@ class PortfolioResult:
     #: search loop polled the cancel token, and how long past cancellation it
     #: kept polling.  The observable evidence that losers stopped promptly.
     progress: Optional[dict] = None
+    #: scheduler record: at least {"mode": "race" | "ladder"} so downstream
+    #: consumers (suite rows, cache payloads, the sched trainer) can tell a
+    #: true concurrent race from the serial fallback.
+    sched: Optional[dict] = None
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return self.satisfiable
@@ -103,15 +107,22 @@ class PortfolioEngine(CoverageEngine):
         slicing="auto",
         members: Sequence[str] = DEFAULT_MEMBERS,
         parallel: bool = True,
+        stagger_seconds: float = 0.0,
     ):
-        super().__init__(slicing=slicing)
+        super().__init__(slicing=slicing, max_bound=max_bound)
         if not members:
             raise ValueError("portfolio needs at least one member engine")
-        if any(name in ("portfolio", "race") for name in members):
+        if any(name in ("portfolio", "race", "auto", "learned") for name in members):
             raise ValueError("portfolio members must be base engines")
-        self.max_bound = max_bound
+        if stagger_seconds < 0:
+            raise ValueError("stagger_seconds must be >= 0")
         self.members = tuple(members)
         self.parallel = parallel
+        #: Delay between member thread starts.  0 = classic simultaneous race;
+        #: the auto engine staggers its fallback race so the predicted winner
+        #: gets a head start and the runner-up mostly just insures against a
+        #: misprediction.
+        self.stagger_seconds = stagger_seconds
 
     def _cache_bound(self) -> Optional[int]:
         # The bounded member's reach is part of the race's identity: its
@@ -186,24 +197,38 @@ class PortfolioEngine(CoverageEngine):
             threading.Thread(target=work, args=(engine,), daemon=True, name=f"portfolio-{engine.name}")
             for engine in engines
         ]
+        started: List[threading.Thread] = []
         try:
             try:
                 for thread in threads:
                     thread.start()
+                    started.append(thread)
+                    # Stagger: give already-running members a head start; stop
+                    # launching once one of them has already decided the race.
+                    if self.stagger_seconds and thread is not threads[-1]:
+                        if decided.wait(timeout=self.stagger_seconds):
+                            break
             except RuntimeError as exc:  # pragma: no cover - thread creation failed
                 # Only start() failures select the serial ladder; everything
                 # else (including _settle's "every member failed") propagates.
+                # Members already racing must be stopped first, or they would
+                # keep running concurrently with the ladder.
+                token.cancel()
+                for thread in started:
+                    thread.join(timeout=5.0)
                 raise _ThreadsUnavailable(str(exc)) from exc
-            # Interruptible wait (a suite shard watchdog may fire here).
+            # Interruptible wait (a suite shard watchdog may fire here).  When
+            # a stagger skipped some members, `decided` is already set and the
+            # skipped members never contribute an outcome.
             while not decided.wait(timeout=0.05):
                 pass
         finally:
             token.cancel()
-        for thread in threads:
+        for thread in started:
             thread.join(timeout=5.0)
         return self._settle(
             problem, engines, finished, outcomes, start,
-            progress=token.progress_snapshot(),
+            progress=token.progress_snapshot(), mode="race",
         )
 
     # -- serial ladder fallback ----------------------------------------------
@@ -222,10 +247,11 @@ class PortfolioEngine(CoverageEngine):
             )
             if self._decisive(engine, result):
                 break
-        return self._settle(problem, engines, finished, outcomes, start)
+        return self._settle(problem, engines, finished, outcomes, start, mode="ladder")
 
     # -- verdict selection ----------------------------------------------------
-    def _settle(self, problem, engines, finished, outcomes, start: float, progress=None):
+    def _settle(self, problem, engines, finished, outcomes, start: float,
+                progress=None, mode: str = "race"):
         elapsed = time.perf_counter() - start
         by_name = {engine.name: engine for engine in engines}
         winner: Optional[Tuple[str, object]] = None
@@ -246,6 +272,9 @@ class PortfolioEngine(CoverageEngine):
         outcomes[name] = "won"
         metrics().inc("portfolio.races")
         metrics().inc(f"portfolio.wins.{name}")
+        features = problem.features(bound=self.max_bound)
+        with span("portfolio_race", design=problem.source_name) as sp:
+            sp.set(winner=name, mode=mode, features=features)
         return PortfolioResult(
             satisfiable=bool(result.satisfiable),
             winner=name,
@@ -256,6 +285,7 @@ class PortfolioEngine(CoverageEngine):
             elapsed_seconds=elapsed,
             outcomes=outcomes,
             progress=progress,
+            sched={"mode": mode},
         )
 
 

@@ -39,8 +39,8 @@ class SymbolicEngine(CoverageEngine):
     name = "symbolic"
     complete = True
 
-    def __init__(self, *, verify_witness: bool = True, slicing="auto"):
-        super().__init__(slicing=slicing)
+    def __init__(self, *, verify_witness: bool = True, slicing="auto", max_bound: int = 12):
+        super().__init__(slicing=slicing, max_bound=max_bound)
         self.verify_witness = verify_witness
 
     def _cache_backend(self) -> str:

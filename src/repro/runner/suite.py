@@ -78,6 +78,9 @@ class CoverageJob:
     #: ``True`` / ``False`` / ``"auto"`` (see :mod:`repro.problem`).
     slicing: object = "auto"
     random_spec: Optional[RandomDesignSpec] = None
+    #: Path of a trained scheduler model (the ``auto`` engine; other engines
+    #: ignore it).
+    sched_model: Optional[str] = None
 
     @property
     def job_id(self) -> str:
@@ -120,13 +123,16 @@ class ShardResult:
     cache_evictions: int = 0
     detail: str = ""
     worker_pid: int = 0
-    #: The member engine that produced the verdict (portfolio shards only).
+    #: The member engine that produced the verdict (portfolio/auto shards).
     winner: Optional[str] = None
     #: Feature record of this shard's compiled query (coi_size, registers,
     #: automaton_states, bound, ...) — the learned-scheduler substrate.
     features: Optional[Dict[str, object]] = None
     #: Span name → wall seconds spent per phase while deciding this shard.
     timings: Optional[Dict[str, float]] = None
+    #: Scheduler record (portfolio/auto shards): race mode, predicted
+    #: ranking, confidence, hit.
+    sched: Optional[Dict[str, object]] = None
 
     @property
     def ok(self) -> bool:
@@ -151,6 +157,7 @@ class ShardResult:
             "winner": self.winner,
             "features": self.features,
             "timings": self.timings,
+            "sched": self.sched,
         }
 
 
@@ -211,6 +218,7 @@ def expand_jobs(
     random_count: int = 0,
     random_seed: int = 0,
     random_sizes: Optional[dict] = None,
+    sched_model: Optional[str] = None,
 ) -> List[CoverageJob]:
     """Expand the catalog (plus random designs) into independent shards.
 
@@ -231,6 +239,7 @@ def expand_jobs(
             bound=bound,
             slicing=slicing,
             random_spec=spec,
+            sched_model=sched_model,
         )
         for index in range(len(problem.architectural)):
             jobs.append(CoverageJob(kind="primary", target=str(index), index=index, **common))
@@ -259,10 +268,20 @@ def _alarm_handler(signum, frame):  # pragma: no cover - exercised via timeouts
     raise _ShardTimeout()
 
 
-def _answer(job: CoverageJob) -> Tuple[bool, bool, str, Optional[str], Optional[dict]]:
-    """Decide one shard; returns ``(verdict, complete, detail, winner, features)``."""
+def _answer(
+    job: CoverageJob,
+) -> Tuple[bool, bool, str, Optional[str], Optional[dict], Optional[dict]]:
+    """Decide one shard.
+
+    Returns ``(verdict, complete, detail, winner, features, sched)``.
+    """
     problem = job.problem()
-    engine = get_engine(job.engine, max_bound=job.bound, slicing=job.slicing)
+    engine = get_engine(
+        job.engine,
+        max_bound=job.bound,
+        slicing=job.slicing,
+        model_path=job.sched_model,
+    )
     with using_prop_backend(job.prop_backend):
         if job.kind == "primary":
             verdict = engine.check_primary(
@@ -275,6 +294,7 @@ def _answer(job: CoverageJob) -> Tuple[bool, bool, str, Optional[str], Optional[
                 "",
                 verdict.winner,
                 features,
+                verdict.sched,
             )
         if job.kind == "signal":
             module = problem.composed_module()
@@ -282,7 +302,7 @@ def _answer(job: CoverageJob) -> Tuple[bool, bool, str, Optional[str], Optional[
             # Compile explicitly (memoized, so free when find_run recompiles)
             # so the shard row carries the query's feature record.
             compiled = engine.compile(module, formulas, observe=(job.target,))
-            features = _shard_features(compiled.features(), job)
+            features = _shard_features(compiled.features(bound=job.bound), job)
             result = engine.find_run(compiled)
             observable = bool(result.satisfiable)
             result_complete = getattr(result, "complete", None)
@@ -295,6 +315,7 @@ def _answer(job: CoverageJob) -> Tuple[bool, bool, str, Optional[str], Optional[
                 "",
                 getattr(result, "winner", None),
                 features,
+                getattr(result, "sched", None),
             )
     raise ValueError(f"unknown shard kind {job.kind!r}")
 
@@ -327,6 +348,7 @@ def execute_shard(job: CoverageJob, timeout: Optional[float] = None) -> ShardRes
     status, verdict, complete, detail, winner = "ok", None, True, "", None
     features: Optional[dict] = None
     timings: Optional[dict] = None
+    sched: Optional[dict] = None
     import threading
 
     use_alarm = (
@@ -355,7 +377,7 @@ def execute_shard(job: CoverageJob, timeout: Optional[float] = None) -> ShardRes
             # decides — engine phases, compile, SAT — into the per-query
             # ``timings`` record, with or without a --trace exporter.
             with PhaseAggregator() as phases:
-                verdict, complete, detail, winner, features = _answer(job)
+                verdict, complete, detail, winner, features, sched = _answer(job)
             timings = phases.timings()
         finally:
             if use_alarm:
@@ -384,6 +406,7 @@ def execute_shard(job: CoverageJob, timeout: Optional[float] = None) -> ShardRes
         winner=winner if status == "ok" else None,
         features=features if status == "ok" else None,
         timings=timings if status == "ok" else None,
+        sched=sched if status == "ok" else None,
     )
 
 

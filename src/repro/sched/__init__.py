@@ -1,0 +1,69 @@
+"""``repro.sched`` — the learned engine scheduler (``--engine auto``).
+
+The racing portfolio answers every query by burning ~3× CPU; at suite scale
+that triples the hardware one box needs.  This package closes the ROADMAP's
+"learned portfolio scheduling" item: the feature/winner records that suite
+shard rows, cached result payloads and trace spans already carry become
+training data for a small, fully deterministic, dependency-free predictor —
+
+* :mod:`repro.sched.features` — the versioned feature schema (order,
+  fingerprint, vectorization);
+* :mod:`repro.sched.model` — the persisted decision-list model, canonical
+  JSON serialization, validation (:class:`SchedModelError`);
+* :mod:`repro.sched.train` — row collectors (suite report / cache dir /
+  trace JSONL), the deterministic greedy trainer, and misprediction
+  evaluation.
+
+The ``auto`` coverage engine (:mod:`repro.engines.auto`) consumes the model:
+confident predictions run one engine solo; everything else falls back to a
+staggered top-2 race.  ``specmatcher sched train|show|eval`` is the
+operational loop: run a suite, train, inspect, measure.
+"""
+
+from .features import (
+    FEATURE_NAMES,
+    SCHEMA_VERSION,
+    feature_complete,
+    featurize,
+    schema_fingerprint,
+)
+from .model import (
+    MODEL_VERSION,
+    Prediction,
+    SchedModel,
+    SchedModelError,
+    SchedRule,
+    load_model,
+    save_model,
+)
+from .train import (
+    TrainingRow,
+    collect_rows,
+    evaluate,
+    rows_from_cache_dir,
+    rows_from_report,
+    rows_from_trace,
+    train_predictor,
+)
+
+__all__ = [
+    "FEATURE_NAMES",
+    "SCHEMA_VERSION",
+    "featurize",
+    "feature_complete",
+    "schema_fingerprint",
+    "MODEL_VERSION",
+    "SchedModel",
+    "SchedModelError",
+    "SchedRule",
+    "Prediction",
+    "load_model",
+    "save_model",
+    "TrainingRow",
+    "train_predictor",
+    "evaluate",
+    "collect_rows",
+    "rows_from_report",
+    "rows_from_cache_dir",
+    "rows_from_trace",
+]

@@ -1,0 +1,88 @@
+"""The feature schema of the learned engine scheduler.
+
+Every suite shard row, cached result payload and ``sched_decision`` trace
+span carries the per-query ``features`` dict produced by
+:meth:`repro.problem.ir.CompiledProblem.features` — structural size of the
+(sliced) query plus the bound the bounded engine would search to.  This
+module pins down the *order and identity* of those features as a versioned
+schema: the trained model stores the schema fingerprint, and prediction
+refuses to run against records whose feature set drifted (a stale model must
+degrade the ``auto`` engine to racing, never silently mis-rank engines).
+
+Everything here is deterministic and dependency-free: feature vectors are
+plain lists of floats in :data:`FEATURE_NAMES` order, independent of dict
+insertion order and of ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Mapping, Optional
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "FEATURE_NAMES",
+    "schema_fingerprint",
+    "featurize",
+    "feature_dict",
+]
+
+#: Version of the feature schema (bump when FEATURE_NAMES changes shape).
+SCHEMA_VERSION = 1
+
+#: Canonical feature order.  Matches the keys of
+#: :meth:`CompiledProblem.features`; ``sliced`` is encoded as 0.0/1.0 and a
+#: missing/None ``bound`` as -1.0 (the trainer never sees one from a
+#: well-formed suite row, but old cache entries may carry it).
+FEATURE_NAMES = (
+    "coi_size",
+    "registers",
+    "automaton_states",
+    "bound",
+    "formulas",
+    "free_signals",
+    "sliced",
+    "slice_ratio",
+)
+
+
+def schema_fingerprint() -> str:
+    """Stable fingerprint of the feature schema (names + version).
+
+    Stored in every persisted model; checked on load so a model trained
+    against one feature layout is rejected — with a clean error — once the
+    layout changes.
+    """
+    text = f"v{SCHEMA_VERSION}|" + ",".join(FEATURE_NAMES)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+def _as_float(name: str, value: object) -> float:
+    if value is None:
+        # Only `bound` is ever legitimately absent (records written before
+        # engines learned to fill it); every other None is treated as 0.
+        return -1.0 if name == "bound" else 0.0
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    return float(value)
+
+
+def featurize(features: Mapping[str, object]) -> List[float]:
+    """A features dict → canonical vector (floats in FEATURE_NAMES order)."""
+    return [_as_float(name, features.get(name)) for name in FEATURE_NAMES]
+
+
+def feature_dict(vector: List[float]) -> Dict[str, float]:
+    """Inverse of :func:`featurize` (diagnostics / ``sched show``)."""
+    return dict(zip(FEATURE_NAMES, vector))
+
+
+def feature_complete(features: Optional[Mapping[str, object]]) -> bool:
+    """True when every schema feature is present and non-None.
+
+    The contract the suite runner and engine cache payloads maintain (and
+    tests assert): training rows never need imputation.
+    """
+    if features is None:
+        return False
+    return all(features.get(name) is not None for name in FEATURE_NAMES)

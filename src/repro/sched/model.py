@@ -1,0 +1,247 @@
+"""The persisted scheduler model: a deterministic decision list over features.
+
+A :class:`SchedModel` is an *ordered* list of threshold rules — ``feature <=
+t`` / ``feature > t`` → a ranked engine list — plus a default ranking for
+queries no rule matches.  Prediction walks the rules in order and returns
+the first match as a :class:`Prediction` (ranking + confidence); the
+``auto`` engine runs the top-ranked engine alone when the confidence clears
+its threshold and falls back to a staggered top-2 race otherwise.
+
+The model is fully deterministic and dependency-free:
+
+* training (:mod:`repro.sched.train`) breaks every tie by a fixed feature /
+  threshold / engine order, so the same rows — in any order, under any
+  ``PYTHONHASHSEED`` — produce byte-identical model JSON;
+* serialization is canonical (``sort_keys=True``, fixed float rounding), so
+  ``from_json(to_json(m)).to_json()`` round-trips byte-identically;
+* loading validates a version number and the feature-schema fingerprint
+  (:func:`repro.sched.features.schema_fingerprint`) and raises
+  :class:`SchedModelError` on any mismatch or malformed file — the ``auto``
+  engine catches that and degrades to racing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .features import FEATURE_NAMES, SCHEMA_VERSION, featurize, schema_fingerprint
+
+__all__ = [
+    "MODEL_VERSION",
+    "SchedModelError",
+    "SchedRule",
+    "Prediction",
+    "SchedModel",
+    "load_model",
+    "save_model",
+]
+
+#: Version of the persisted model layout (independent of the feature schema).
+MODEL_VERSION = 1
+
+
+class SchedModelError(ValueError):
+    """A model file is malformed, wrong-version or schema-stale."""
+
+
+@dataclass(frozen=True)
+class SchedRule:
+    """One decision-list rule: ``feature op threshold`` → ranked engines."""
+
+    feature: str
+    op: str  # "<=" | ">"
+    threshold: float
+    ranking: Tuple[str, ...]
+    purity: float  # fraction of matched training rows won by ranking[0]
+    support: int  # matched training rows
+
+    def matches(self, vector: Sequence[float]) -> bool:
+        value = vector[FEATURE_NAMES.index(self.feature)]
+        return value <= self.threshold if self.op == "<=" else value > self.threshold
+
+    def describe(self) -> str:
+        return (
+            f"{self.feature} {self.op} {self.threshold:g} -> "
+            f"{' > '.join(self.ranking)}  (purity {self.purity:.2f}, "
+            f"support {self.support})"
+        )
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """A ranked engine list for one query, with a confidence in [0, 1]."""
+
+    ranking: Tuple[str, ...]
+    confidence: float
+    rule_index: Optional[int] = None  # None = default ranking
+
+    @property
+    def engine(self) -> str:
+        return self.ranking[0]
+
+
+def _confidence(purity: float, support: int) -> float:
+    """Damp rule purity by support so one-row rules never look certain."""
+    return round(purity * (support / (support + 1.0)), 4)
+
+
+@dataclass
+class SchedModel:
+    """An ordered decision list + default ranking, with provenance."""
+
+    rules: List[SchedRule] = field(default_factory=list)
+    default_ranking: Tuple[str, ...] = ()
+    default_purity: float = 0.0
+    default_support: int = 0
+    trained_rows: int = 0
+    engine_wins: Dict[str, int] = field(default_factory=dict)
+    feature_fingerprint: str = field(default_factory=schema_fingerprint)
+
+    def predict(self, features: Mapping[str, object]) -> Prediction:
+        """Ranked engines for one query's feature dict (first matching rule)."""
+        vector = featurize(features)
+        for index, rule in enumerate(self.rules):
+            if rule.matches(vector):
+                return Prediction(
+                    ranking=rule.ranking,
+                    confidence=_confidence(rule.purity, rule.support),
+                    rule_index=index,
+                )
+        return Prediction(
+            ranking=self.default_ranking,
+            confidence=_confidence(self.default_purity, self.default_support),
+            rule_index=None,
+        )
+
+    # -- serialization --------------------------------------------------------
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "version": MODEL_VERSION,
+            "feature_schema": {
+                "version": SCHEMA_VERSION,
+                "names": list(FEATURE_NAMES),
+                "fingerprint": self.feature_fingerprint,
+            },
+            "rules": [
+                {
+                    "feature": rule.feature,
+                    "op": rule.op,
+                    "threshold": round(rule.threshold, 6),
+                    "ranking": list(rule.ranking),
+                    "purity": round(rule.purity, 4),
+                    "support": rule.support,
+                }
+                for rule in self.rules
+            ],
+            "default": {
+                "ranking": list(self.default_ranking),
+                "purity": round(self.default_purity, 4),
+                "support": self.default_support,
+            },
+            "trained_rows": self.trained_rows,
+            "engine_wins": {name: self.engine_wins[name] for name in sorted(self.engine_wins)},
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON text (byte-identical for equal models)."""
+        return json.dumps(self.to_payload(), indent=2, sort_keys=True) + "\n"
+
+    @staticmethod
+    def from_payload(payload: Mapping[str, object]) -> "SchedModel":
+        if not isinstance(payload, Mapping):
+            raise SchedModelError("model payload is not a JSON object")
+        version = payload.get("version")
+        if version != MODEL_VERSION:
+            raise SchedModelError(
+                f"unsupported model version {version!r} (expected {MODEL_VERSION})"
+            )
+        schema = payload.get("feature_schema") or {}
+        fingerprint = schema.get("fingerprint")
+        if fingerprint != schema_fingerprint():
+            raise SchedModelError(
+                f"stale feature schema: model has {fingerprint!r}, "
+                f"current schema is {schema_fingerprint()!r} — retrain with "
+                f"`specmatcher sched train`"
+            )
+        try:
+            rules = [
+                SchedRule(
+                    feature=str(entry["feature"]),
+                    op=str(entry["op"]),
+                    threshold=float(entry["threshold"]),
+                    ranking=tuple(entry["ranking"]),
+                    purity=float(entry["purity"]),
+                    support=int(entry["support"]),
+                )
+                for entry in payload.get("rules", [])
+            ]
+            default = payload.get("default") or {}
+            model = SchedModel(
+                rules=rules,
+                default_ranking=tuple(default.get("ranking", ())),
+                default_purity=float(default.get("purity", 0.0)),
+                default_support=int(default.get("support", 0)),
+                trained_rows=int(payload.get("trained_rows", 0)),
+                engine_wins={
+                    str(k): int(v) for k, v in (payload.get("engine_wins") or {}).items()
+                },
+                feature_fingerprint=str(fingerprint),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SchedModelError(f"malformed model payload: {exc}") from exc
+        for rule in model.rules:
+            if rule.feature not in FEATURE_NAMES:
+                raise SchedModelError(f"rule references unknown feature {rule.feature!r}")
+            if rule.op not in ("<=", ">"):
+                raise SchedModelError(f"rule has unknown operator {rule.op!r}")
+            if not rule.ranking:
+                raise SchedModelError("rule has an empty engine ranking")
+        if not model.default_ranking:
+            raise SchedModelError("model has no default engine ranking")
+        return model
+
+    def describe(self) -> str:
+        """Human-readable dump (the ``sched show`` subcommand)."""
+        lines = [
+            f"scheduler model v{MODEL_VERSION} "
+            f"(feature schema {self.feature_fingerprint}, "
+            f"trained on {self.trained_rows} rows)",
+            "rules (first match wins):",
+        ]
+        if self.rules:
+            for index, rule in enumerate(self.rules):
+                lines.append(f"  {index}: {rule.describe()}")
+        else:
+            lines.append("  (none)")
+        lines.append(
+            f"default: {' > '.join(self.default_ranking) or '-'} "
+            f"(purity {self.default_purity:.2f}, support {self.default_support})"
+        )
+        wins = ", ".join(f"{name}={count}" for name, count in sorted(self.engine_wins.items()))
+        lines.append(f"training wins: {wins or '-'}")
+        return "\n".join(lines)
+
+
+def load_model(path: str) -> SchedModel:
+    """Load and validate a persisted model; raises :class:`SchedModelError`."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise SchedModelError(f"cannot read model file {path}: {exc}") from exc
+    except ValueError as exc:
+        raise SchedModelError(f"model file {path} is not valid JSON: {exc}") from exc
+    return SchedModel.from_payload(payload)
+
+
+def save_model(model: SchedModel, path: str) -> None:
+    """Write the model atomically (temp file + rename) as canonical JSON."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(model.to_json())
+    os.replace(tmp, path)

@@ -1,0 +1,356 @@
+"""Training, row collection and evaluation for the learned engine scheduler.
+
+Training data is whatever the suite and the engines already emit: portfolio
+(and low-confidence ``auto``) races record the per-query ``features`` dict
+together with the ``winner`` — in suite shard rows, in cached result
+payloads and in ``sched_decision``/``portfolio_race`` trace spans.  The
+collectors here read all three sources into :class:`TrainingRow`\\ s; solo
+``auto`` rows are skipped by default (a solo run's "winner" is whatever the
+model already predicted — no counterfactual, so feeding it back would only
+reinforce the model's current beliefs).
+
+:func:`train_predictor` fits the deterministic decision list of
+:mod:`repro.sched.model`: rows are canonically sorted (so training is
+independent of input order and of ``PYTHONHASHSEED``), candidate threshold
+rules are scored by (purity, support) with fixed tie-breaks, and greedy
+selection removes covered rows until no rule improves on the remaining
+majority.  :func:`evaluate` reports the misprediction rate of a model
+against a row set — the number the README's "reading misprediction rate"
+section explains.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .features import FEATURE_NAMES, featurize
+from .model import Prediction, SchedModel, SchedRule
+
+__all__ = [
+    "TrainingRow",
+    "train_predictor",
+    "rows_from_report",
+    "rows_from_cache_dir",
+    "rows_from_trace",
+    "collect_rows",
+    "evaluate",
+]
+
+#: Cap on candidate thresholds per feature (evenly subsampled when exceeded).
+_MAX_THRESHOLDS = 16
+
+
+@dataclass(frozen=True)
+class TrainingRow:
+    """One (features, winner) observation from a recorded race."""
+
+    features: Mapping[str, object]
+    winner: str
+    source: str = ""  # "report" | "cache" | "trace" | ""
+    design: str = ""
+    mode: str = ""  # "race" | "ladder" | "fallback" | ""
+
+
+def _row_mode(sched: Optional[Mapping[str, object]]) -> str:
+    if not sched:
+        return ""
+    return str(sched.get("mode") or "")
+
+
+def _usable(features, winner, mode: str, *, include_solo: bool) -> bool:
+    if not winner or not isinstance(features, Mapping):
+        return False
+    if mode == "solo" and not include_solo:
+        return False
+    return True
+
+
+def rows_from_report(payload, *, include_solo: bool = False) -> List[TrainingRow]:
+    """Rows from a suite JSON report (a path or an already-loaded dict)."""
+    if isinstance(payload, str):
+        with open(payload, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    rows: List[TrainingRow] = []
+    for shard in payload.get("shards", ()):
+        if shard.get("status") != "ok":
+            continue
+        mode = _row_mode(shard.get("sched"))
+        features, winner = shard.get("features"), shard.get("winner")
+        if not _usable(features, winner, mode, include_solo=include_solo):
+            continue
+        rows.append(
+            TrainingRow(
+                features=features,
+                winner=str(winner),
+                source="report",
+                design=str(shard.get("design", "")),
+                mode=mode,
+            )
+        )
+    return rows
+
+
+def rows_from_cache_dir(cache_dir: str, *, include_solo: bool = False) -> List[TrainingRow]:
+    """Rows from the persistent result cache's stored payloads.
+
+    Walks every entry under ``cache_dir`` (the same files ``specmatcher
+    cache stats`` counts) and keeps payloads that carry both a winner and a
+    feature record — i.e. decided portfolio/auto races.
+    """
+    rows: List[TrainingRow] = []
+    for root, _, files in os.walk(os.path.abspath(cache_dir)):
+        for name in sorted(files):
+            if name.startswith(".") or not name.endswith(".json"):
+                continue
+            try:
+                with open(os.path.join(root, name), "r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+            except (OSError, ValueError):
+                continue
+            if not isinstance(payload, dict):
+                continue
+            mode = _row_mode(payload.get("sched"))
+            features, winner = payload.get("features"), payload.get("winner")
+            if not _usable(features, winner, mode, include_solo=include_solo):
+                continue
+            rows.append(
+                TrainingRow(
+                    features=features, winner=str(winner), source="cache", mode=mode
+                )
+            )
+    return rows
+
+
+def rows_from_trace(path: str, *, include_solo: bool = False) -> List[TrainingRow]:
+    """Rows from a ``--trace`` JSONL stream.
+
+    Reads the ``sched_decision`` (auto engine) and ``portfolio_race``
+    (portfolio engine) spans, whose attributes carry the query's feature
+    record and the winning member.  Malformed lines are skipped — traces of
+    crashed runs stay usable.
+    """
+    rows: List[TrainingRow] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if record.get("type") != "span":
+                continue
+            if record.get("name") not in ("sched_decision", "portfolio_race"):
+                continue
+            attrs = record.get("attrs") or {}
+            mode = str(attrs.get("mode") or "")
+            features, winner = attrs.get("features"), attrs.get("winner")
+            if not _usable(features, winner, mode, include_solo=include_solo):
+                continue
+            rows.append(
+                TrainingRow(
+                    features=features,
+                    winner=str(winner),
+                    source="trace",
+                    design=str(attrs.get("design", "")),
+                    mode=mode,
+                )
+            )
+    return rows
+
+
+def collect_rows(
+    *,
+    reports: Sequence[str] = (),
+    cache_dirs: Sequence[str] = (),
+    traces: Sequence[str] = (),
+    include_solo: bool = False,
+) -> List[TrainingRow]:
+    """Union of rows from every named source (the ``sched train`` CLI)."""
+    rows: List[TrainingRow] = []
+    for path in reports:
+        rows.extend(rows_from_report(path, include_solo=include_solo))
+    for path in cache_dirs:
+        rows.extend(rows_from_cache_dir(path, include_solo=include_solo))
+    for path in traces:
+        rows.extend(rows_from_trace(path, include_solo=include_solo))
+    return rows
+
+
+# -- training -----------------------------------------------------------------
+
+
+def _coerce_row(row) -> Tuple[List[float], str]:
+    if isinstance(row, TrainingRow):
+        return featurize(row.features), row.winner
+    if isinstance(row, Mapping):
+        return featurize(row["features"]), str(row["winner"])
+    features, winner = row  # (features_dict, winner) pairs
+    return featurize(features), str(winner)
+
+
+def _ranking(counts: Dict[str, int], engines: Sequence[str]) -> Tuple[str, ...]:
+    """Engines ranked by win count (desc), name (asc); zero-count tail kept."""
+    return tuple(sorted(engines, key=lambda name: (-counts.get(name, 0), name)))
+
+
+def _majority(vectors_winners: Sequence[Tuple[List[float], str]]) -> Tuple[str, float]:
+    counts: Dict[str, int] = {}
+    for _, winner in vectors_winners:
+        counts[winner] = counts.get(winner, 0) + 1
+    top = min(counts, key=lambda name: (-counts[name], name))
+    return top, counts[top] / len(vectors_winners)
+
+
+def train_predictor(
+    rows: Iterable,
+    *,
+    max_rules: int = 16,
+    min_support: int = 1,
+) -> SchedModel:
+    """Fit the deterministic decision list from recorded (features, winner) rows.
+
+    Accepts :class:`TrainingRow`\\ s, ``{"features": ..., "winner": ...}``
+    mappings or plain ``(features, winner)`` pairs.  Raises ``ValueError``
+    on an empty row set — a model that has seen nothing must not exist (the
+    ``auto`` engine treats "no model" as "always race" instead).
+    """
+    data = [_coerce_row(row) for row in rows]
+    if not data:
+        raise ValueError("cannot train a scheduler model from zero rows")
+    # Canonical order: training must not depend on input order or hash seed.
+    data.sort(key=lambda item: (item[0], item[1]))
+
+    engines = sorted({winner for _, winner in data})
+    global_counts: Dict[str, int] = {}
+    for _, winner in data:
+        global_counts[winner] = global_counts.get(winner, 0) + 1
+    global_ranking = _ranking(global_counts, engines)
+
+    rules: List[SchedRule] = []
+    remaining = list(data)
+    while remaining and len(rules) < max_rules:
+        majority_engine, majority_purity = _majority(remaining)
+        if majority_purity >= 1.0:
+            break  # the default ranking of what's left is already perfect
+        best = None  # (purity, support, -feat_idx, -threshold, op) maximized
+        best_rule = None
+        for feat_idx, feature in enumerate(FEATURE_NAMES):
+            values = sorted({vec[feat_idx] for vec, _ in remaining})
+            if len(values) < 2:
+                continue
+            thresholds = [
+                (values[i] + values[i + 1]) / 2.0 for i in range(len(values) - 1)
+            ]
+            if len(thresholds) > _MAX_THRESHOLDS:
+                step = len(thresholds) / _MAX_THRESHOLDS
+                thresholds = [thresholds[int(i * step)] for i in range(_MAX_THRESHOLDS)]
+            for threshold in thresholds:
+                for op in ("<=", ">"):
+                    if op == "<=":
+                        matched = [item for item in remaining if item[0][feat_idx] <= threshold]
+                    else:
+                        matched = [item for item in remaining if item[0][feat_idx] > threshold]
+                    if len(matched) < min_support or len(matched) == len(remaining):
+                        continue
+                    counts: Dict[str, int] = {}
+                    for _, winner in matched:
+                        counts[winner] = counts.get(winner, 0) + 1
+                    top = min(counts, key=lambda name: (-counts[name], name))
+                    purity = counts[top] / len(matched)
+                    key = (purity, len(matched), -feat_idx, -threshold, op)
+                    if best is None or key > best:
+                        best = key
+                        ranking = _ranking(counts, engines)
+                        best_rule = SchedRule(
+                            feature=feature,
+                            op=op,
+                            threshold=round(threshold, 6),
+                            ranking=ranking,
+                            purity=round(purity, 4),
+                            support=len(matched),
+                        )
+        if best_rule is None or best_rule.purity <= majority_purity:
+            break  # no rule beats just predicting the remaining majority
+        rules.append(best_rule)
+        feat_idx = FEATURE_NAMES.index(best_rule.feature)
+        if best_rule.op == "<=":
+            remaining = [i for i in remaining if i[0][feat_idx] > best_rule.threshold]
+        else:
+            remaining = [i for i in remaining if i[0][feat_idx] <= best_rule.threshold]
+
+    if remaining:
+        default_engine, default_purity = _majority(remaining)
+        counts = {}
+        for _, winner in remaining:
+            counts[winner] = counts.get(winner, 0) + 1
+        default_ranking = _ranking(counts, engines)
+        default_support = len(remaining)
+    else:
+        default_ranking = global_ranking
+        default_purity = global_counts[global_ranking[0]] / len(data)
+        default_support = len(data)
+
+    return SchedModel(
+        rules=rules,
+        default_ranking=default_ranking,
+        default_purity=round(default_purity, 4),
+        default_support=default_support,
+        trained_rows=len(data),
+        engine_wins=global_counts,
+    )
+
+
+# -- evaluation ---------------------------------------------------------------
+
+
+def evaluate(
+    model: SchedModel,
+    rows: Iterable,
+    *,
+    confidence_threshold: Optional[float] = None,
+) -> Dict[str, object]:
+    """Misprediction rate of ``model`` against recorded rows.
+
+    A row counts as mispredicted when the model's top-ranked engine differs
+    from the recorded winner.  With a ``confidence_threshold`` the summary
+    also splits rows into confident (would have run solo) and unconfident
+    (would have raced) — a confident misprediction is the expensive kind.
+    """
+    total = mispredicted = 0
+    confident = confident_mispredicted = 0
+    per_engine: Dict[str, Dict[str, int]] = {}
+    for row in rows:
+        vector_features = row.features if isinstance(row, TrainingRow) else (
+            row["features"] if isinstance(row, Mapping) else row[0]
+        )
+        winner = row.winner if isinstance(row, TrainingRow) else (
+            str(row["winner"]) if isinstance(row, Mapping) else str(row[1])
+        )
+        prediction: Prediction = model.predict(vector_features)
+        hit = prediction.engine == winner
+        total += 1
+        if not hit:
+            mispredicted += 1
+        if confidence_threshold is not None and prediction.confidence >= confidence_threshold:
+            confident += 1
+            if not hit:
+                confident_mispredicted += 1
+        entry = per_engine.setdefault(winner, {"rows": 0, "hits": 0})
+        entry["rows"] += 1
+        entry["hits"] += 1 if hit else 0
+    summary: Dict[str, object] = {
+        "rows": total,
+        "mispredictions": mispredicted,
+        "rate": round(mispredicted / total, 4) if total else 0.0,
+        "per_engine": {name: per_engine[name] for name in sorted(per_engine)},
+    }
+    if confidence_threshold is not None:
+        summary["confidence_threshold"] = confidence_threshold
+        summary["confident_rows"] = confident
+        summary["confident_mispredictions"] = confident_mispredicted
+        summary["confident_rate"] = (
+            round(confident_mispredicted / confident, 4) if confident else 0.0
+        )
+    return summary

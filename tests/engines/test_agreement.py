@@ -34,7 +34,7 @@ def problems():
 
 class TestEngineRegistry:
     def test_known_names(self):
-        assert set(engine_names()) == {"explicit", "bmc", "symbolic", "portfolio"}
+        assert set(engine_names()) == {"explicit", "bmc", "symbolic", "portfolio", "auto"}
 
     def test_lookup_and_aliases(self):
         assert isinstance(get_engine("explicit"), ExplicitEngine)

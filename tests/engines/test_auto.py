@@ -1,0 +1,239 @@
+"""The learned scheduling engine: solo/race/fallback paths, degradation,
+differential agreement with the explicit engine and the portfolio."""
+
+import json
+
+import pytest
+
+from repro.designs import get_design, random_design_entries
+from repro.engines import AutoEngine, get_engine
+from repro.obs import Metrics, set_metrics
+from repro.runner.cache import ResultCache, using_result_cache
+from repro.sched import (
+    SchedModel,
+    SchedRule,
+    TrainingRow,
+    save_model,
+    train_predictor,
+)
+
+_BMC_BOUND = 6
+_DESIGNS = ["mal_fig2", "mal_fig4", "paper_example", "telemetry_bank"]
+
+
+def _features(coi, *, bound=_BMC_BOUND):
+    return {
+        "coi_size": coi,
+        "registers": max(1, coi // 4),
+        "automaton_states": coi * 3,
+        "bound": bound,
+        "formulas": 3,
+        "free_signals": 2,
+        "sliced": False,
+        "slice_ratio": 1.0,
+    }
+
+
+def _trained_model_path(tmp_path, winner="explicit"):
+    """A high-confidence model that always predicts ``winner``."""
+    rows = [TrainingRow(features=_features(c), winner=winner) for c in range(2, 12)]
+    model = train_predictor(rows)
+    path = str(tmp_path / "model.json")
+    save_model(model, path)
+    return path
+
+
+class TestConstruction:
+    def test_registered_with_aliases(self):
+        assert isinstance(get_engine("auto"), AutoEngine)
+        assert isinstance(get_engine("learned"), AutoEngine)
+
+    def test_rejects_meta_members(self):
+        with pytest.raises(ValueError):
+            AutoEngine(members=("portfolio",))
+        with pytest.raises(ValueError):
+            AutoEngine(members=("auto", "explicit"))
+
+    def test_rejects_empty_members(self):
+        with pytest.raises(ValueError):
+            AutoEngine(members=())
+
+
+class TestNoModel:
+    def test_races_without_a_model(self):
+        engine = AutoEngine(max_bound=_BMC_BOUND)
+        verdict = engine.check_primary(get_design("mal_fig2").builder())
+        assert verdict.covered is True
+        assert verdict.sched["mode"] == "race"
+        assert verdict.sched["predicted"] is None
+        assert verdict.sched["confidence"] is None
+        assert verdict.sched["hit"] is None
+        assert verdict.winner in ("explicit", "bmc")
+
+    def test_verdict_is_complete_on_covered_designs(self):
+        engine = AutoEngine(max_bound=_BMC_BOUND)
+        verdict = engine.check_primary(get_design("mal_fig2").builder())
+        assert verdict.complete is True
+
+
+class TestWithModel:
+    def test_confident_prediction_runs_solo(self, tmp_path):
+        path = _trained_model_path(tmp_path, winner="explicit")
+        engine = AutoEngine(max_bound=_BMC_BOUND, model_path=path)
+        verdict = engine.check_primary(get_design("mal_fig2").builder())
+        assert verdict.covered is True
+        assert verdict.sched["mode"] == "solo"
+        assert verdict.sched["predicted"][0] == "explicit"
+        assert verdict.winner == "explicit"
+        assert verdict.sched["hit"] is True
+
+    def test_confident_bmc_on_covered_query_falls_back_complete(self, tmp_path):
+        """A confident bounded run that stays inconclusive must not weaken
+        the verdict: the complete members finish the job."""
+        path = _trained_model_path(tmp_path, winner="bmc")
+        engine = AutoEngine(max_bound=_BMC_BOUND, model_path=path)
+        verdict = engine.check_primary(get_design("mal_fig2").builder())
+        assert verdict.covered is True
+        assert verdict.complete is True
+        assert verdict.sched["mode"] == "fallback"
+        assert verdict.winner != "bmc"
+        assert verdict.sched["hit"] is False
+
+    def test_confident_bmc_on_gap_query_stays_solo(self, tmp_path):
+        """On a refutable query the bounded engine's witness is decisive."""
+        path = _trained_model_path(tmp_path, winner="bmc")
+        engine = AutoEngine(max_bound=_BMC_BOUND, model_path=path)
+        verdict = engine.check_primary(get_design("mal_fig4").builder())
+        assert verdict.covered is False
+        assert verdict.complete is True
+        assert verdict.sched["mode"] == "solo"
+        assert verdict.winner == "bmc"
+
+    def test_low_confidence_races_top_two(self, tmp_path):
+        model = SchedModel(
+            rules=[],
+            default_ranking=("explicit", "bmc", "symbolic"),
+            default_purity=0.4,  # confidence 0.4 * s/(s+1) < threshold
+            default_support=10,
+            trained_rows=10,
+            engine_wins={"explicit": 4, "bmc": 3, "symbolic": 3},
+        )
+        path = str(tmp_path / "weak.json")
+        save_model(model, path)
+        engine = AutoEngine(max_bound=_BMC_BOUND, model_path=path)
+        verdict = engine.check_primary(get_design("mal_fig2").builder())
+        assert verdict.sched["mode"] == "race"
+        assert verdict.sched["predicted"] == ["explicit", "bmc", "symbolic"]
+        assert verdict.winner in ("explicit", "bmc")
+
+
+class TestDegradation:
+    def _assert_degrades(self, path):
+        registry = Metrics()
+        previous = set_metrics(registry)
+        try:
+            engine = AutoEngine(max_bound=_BMC_BOUND, model_path=str(path))
+            verdict = engine.check_primary(get_design("mal_fig2").builder())
+        finally:
+            set_metrics(previous)
+        assert verdict.covered is True
+        assert verdict.sched["mode"] == "race"
+        assert verdict.sched["predicted"] is None
+        assert registry.snapshot()["counters"].get("sched.model_errors", 0) >= 1
+
+    def test_degrades_on_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        self._assert_degrades(path)
+
+    def test_degrades_on_missing_file(self, tmp_path):
+        self._assert_degrades(tmp_path / "absent.json")
+
+    def test_degrades_on_stale_schema(self, tmp_path):
+        rows = [TrainingRow(features=_features(c), winner="explicit") for c in (2, 3)]
+        payload = train_predictor(rows).to_payload()
+        payload["feature_schema"]["fingerprint"] = "deadbeefdeadbeef"
+        path = tmp_path / "stale.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        self._assert_degrades(path)
+
+    def test_model_reload_after_rewrite(self, tmp_path):
+        """The process-wide model cache must notice a replaced file."""
+        import os
+
+        path = _trained_model_path(tmp_path, winner="explicit")
+        engine = AutoEngine(max_bound=_BMC_BOUND, model_path=path)
+        problem = get_design("mal_fig2").builder()
+        first = engine.check_primary(problem)
+        assert first.sched["predicted"][0] == "explicit"
+        # Rewrite with a model predicting symbolic; force a distinct mtime.
+        rows = [TrainingRow(features=_features(c), winner="symbolic") for c in range(2, 12)]
+        save_model(train_predictor(rows), path)
+        stat = os.stat(path)
+        os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1_000_000))
+        second = engine.check_primary(problem)
+        assert second.sched["predicted"][0] == "symbolic"
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("design", _DESIGNS)
+    def test_auto_agrees_with_explicit_without_model(self, design):
+        problem = get_design(design).builder()
+        expected = get_engine("explicit").check_primary(problem)
+        actual = AutoEngine(max_bound=_BMC_BOUND).check_primary(problem)
+        assert actual.covered == expected.covered
+
+    @pytest.mark.parametrize("design", _DESIGNS)
+    def test_auto_agrees_with_portfolio_with_model(self, design, tmp_path):
+        path = _trained_model_path(tmp_path, winner="explicit")
+        problem = get_design(design).builder()
+        expected = get_engine("portfolio", max_bound=_BMC_BOUND).check_primary(problem)
+        actual = AutoEngine(max_bound=_BMC_BOUND, model_path=path).check_primary(problem)
+        assert actual.covered == expected.covered
+        assert actual.complete == expected.complete
+
+    @pytest.mark.slow
+    def test_auto_agrees_on_random_designs(self, tmp_path):
+        path = _trained_model_path(tmp_path, winner="explicit")
+        for entry in random_design_entries(3, 20260808):
+            problem = entry.builder()
+            expected = get_engine("explicit").check_primary(problem)
+            for engine in (
+                AutoEngine(max_bound=_BMC_BOUND),
+                AutoEngine(max_bound=_BMC_BOUND, model_path=path),
+            ):
+                actual = engine.check_primary(problem)
+                assert actual.covered == expected.covered, entry.name
+
+
+class TestCaching:
+    def test_cache_payload_carries_sched_record(self, tmp_path):
+        path = _trained_model_path(tmp_path, winner="explicit")
+        engine = AutoEngine(max_bound=_BMC_BOUND, model_path=path)
+        problem = get_design("mal_fig2").builder()
+        cache = ResultCache()
+        with using_result_cache(cache):
+            first = engine.check_primary(problem)
+            second = engine.check_primary(problem)
+        assert first.covered == second.covered
+        assert second.winner == first.winner
+        assert second.sched == first.sched
+        assert cache.stats.hits >= 1
+        payloads = list(cache._memory.values())
+        auto_payloads = [p for p in payloads if p.get("sched")]
+        assert auto_payloads, "auto run must store its sched record"
+        for payload in auto_payloads:
+            assert payload["sched"]["mode"] in ("solo", "race", "fallback")
+
+    def test_auto_and_portfolio_cache_keys_do_not_collide(self):
+        problem = get_design("mal_fig2").builder()
+        cache = ResultCache()
+        with using_result_cache(cache):
+            auto = AutoEngine(max_bound=_BMC_BOUND)
+            portfolio = get_engine("portfolio", max_bound=_BMC_BOUND)
+            auto.check_primary(problem)
+            hits_before = cache.stats.hits
+            portfolio.check_primary(problem)
+        # The portfolio's top-level query must not replay the auto engine's
+        # (their member sets and semantics differ); member-level queries may.
+        assert cache.stats.hits >= hits_before

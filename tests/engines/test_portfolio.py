@@ -183,3 +183,132 @@ class TestCaching:
             pinned = get_engine(winner, max_bound=_BMC_BOUND).check_primary(problem)
         assert pinned.covered == verdict.covered
         assert cache.stats.hits > before
+
+
+class TestSchedRecord:
+    def test_race_records_mode(self):
+        verdict = get_engine("portfolio", max_bound=_BMC_BOUND).check_primary(
+            get_design("mal_fig2").builder()
+        )
+        assert verdict.sched == {"mode": "race"}
+
+    def test_ladder_records_mode(self):
+        verdict = PortfolioEngine(max_bound=_BMC_BOUND, parallel=False).check_primary(
+            get_design("mal_fig2").builder()
+        )
+        assert verdict.sched == {"mode": "ladder"}
+
+
+class TestLadderWinner:
+    """Regression: the serial ladder must report winners everywhere the
+    parallel race does — on the verdict, in suite rows and in cache payloads
+    (including the bounded-fallback rung)."""
+
+    def test_ladder_winner_on_verdict(self):
+        for design in _DESIGNS:
+            entry = get_design(design)
+            verdict = PortfolioEngine(max_bound=_BMC_BOUND, parallel=False).check_primary(
+                entry.builder()
+            )
+            assert verdict.winner in ("explicit", "bmc", "symbolic"), design
+            assert verdict.sched == {"mode": "ladder"}, design
+
+    def test_ladder_bounded_fallback_still_names_winner(self):
+        from repro.ltl.ast import Not
+
+        problem = get_design("mal_fig2").builder()
+        engine = PortfolioEngine(max_bound=_BMC_BOUND, members=("bmc",), parallel=False)
+        # The primary coverage query of a covered design: unsatisfiable, so
+        # the bounded member can only answer "unsat up to the bound".
+        result = engine.find_run(
+            problem.composed_module(),
+            [Not(problem.architectural_conjunction())] + problem.all_rtl_formulas(),
+        )
+        assert result.winner == "bmc"
+        assert result.complete is False
+        assert result.sched == {"mode": "ladder"}
+        assert result.outcomes["bmc"] == "won"
+
+    def test_ladder_winner_survives_cache_replay(self):
+        problem = get_design("mal_fig2").builder()
+        engine = PortfolioEngine(max_bound=_BMC_BOUND, parallel=False)
+        with using_result_cache(ResultCache()):
+            first = engine.check_primary(problem)
+            second = engine.check_primary(problem)
+        assert first.winner is not None
+        assert second.winner == first.winner
+        assert second.sched == {"mode": "ladder"}
+
+    def test_ladder_winner_in_suite_rows(self):
+        from repro.runner import expand_jobs, run_suite
+
+        jobs = [
+            job
+            for job in expand_jobs(
+                ["mal_fig2"], engine="portfolio", bound=_BMC_BOUND
+            )
+            if job.kind == "primary"
+        ]
+        result = run_suite(jobs, workers=1, use_cache=False)
+        assert result.succeeded
+        for shard in result.shards:
+            row = shard.row()
+            assert row["winner"] in ("explicit", "bmc", "symbolic")
+            assert row["sched"]["mode"] in ("race", "ladder")
+
+    def test_thread_start_failure_falls_back_with_winner(self, monkeypatch):
+        """Mid-start thread failures must stop started members, ladder, and
+        still report a winner."""
+        import threading
+
+        real_start = threading.Thread.start
+        calls = {"n": 0}
+
+        def flaky_start(self):
+            if self.name.startswith("portfolio-"):
+                calls["n"] += 1
+                if calls["n"] >= 2:
+                    raise RuntimeError("can't start new thread")
+            return real_start(self)
+
+        monkeypatch.setattr(threading.Thread, "start", flaky_start)
+        entry = get_design("mal_fig2")
+        verdict = get_engine("portfolio", max_bound=_BMC_BOUND).check_primary(
+            entry.builder()
+        )
+        assert verdict.covered == entry.expected_covered
+        assert verdict.winner in ("explicit", "bmc", "symbolic")
+        assert verdict.sched == {"mode": "ladder"}
+        assert calls["n"] >= 2
+
+
+class TestStagger:
+    def test_staggered_race_agrees_and_records_race_mode(self):
+        for design in _DESIGNS:
+            entry = get_design(design)
+            engine = PortfolioEngine(max_bound=_BMC_BOUND, stagger_seconds=0.02)
+            verdict = engine.check_primary(entry.builder())
+            assert verdict.covered == entry.expected_covered, design
+            assert verdict.sched == {"mode": "race"}, design
+            assert verdict.winner in ("explicit", "bmc", "symbolic")
+
+    def test_negative_stagger_rejected(self):
+        with pytest.raises(ValueError):
+            PortfolioEngine(stagger_seconds=-0.1)
+
+    def test_large_stagger_lets_first_member_win_alone(self):
+        # With a huge stagger, the first member decides before the second
+        # ever starts; the race must settle without waiting out the stagger.
+        import time
+
+        engine = PortfolioEngine(
+            max_bound=_BMC_BOUND,
+            members=("explicit", "symbolic"),
+            stagger_seconds=60.0,
+        )
+        start = time.perf_counter()
+        verdict = engine.check_primary(get_design("mal_fig2").builder())
+        elapsed = time.perf_counter() - start
+        assert verdict.covered is True
+        assert verdict.winner == "explicit"
+        assert elapsed < 30.0  # decided the moment the favourite finished

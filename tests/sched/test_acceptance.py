@@ -1,0 +1,56 @@
+"""End-to-end prediction quality: train on one catalog suite run, then the
+model must mispredict at most 25% of that run's rows (the PR's acceptance
+bar), and an ``auto`` suite driven by the model must reproduce the verdicts
+of the explicit engine and of the portfolio."""
+
+import pytest
+
+from repro.runner import expand_jobs, run_suite, suite_to_dict
+from repro.sched import evaluate, load_model, rows_from_report, save_model, train_predictor
+
+_BMC_BOUND = 6
+_DESIGNS = ["mal_fig2", "mal_fig4", "paper_example", "telemetry_bank"]
+_SEED = 20260808
+
+
+def _suite_report(engine, *, sched_model=None, random_count=0):
+    jobs = expand_jobs(
+        _DESIGNS,
+        engine=engine,
+        bound=_BMC_BOUND,
+        random_count=random_count,
+        random_seed=_SEED,
+        sched_model=sched_model,
+    )
+    result = run_suite(jobs, workers=1, use_cache=True)
+    assert result.succeeded, [s.detail for s in result.shards if not s.ok]
+    return suite_to_dict(result)
+
+
+@pytest.mark.slow
+class TestPredictionQuality:
+    def test_misprediction_rate_within_bar_and_auto_agrees(self, tmp_path):
+        portfolio_report = _suite_report("portfolio")
+        rows = rows_from_report(portfolio_report)
+        assert rows, "portfolio suite must produce training rows"
+
+        model = train_predictor(rows)
+        path = str(tmp_path / "model.json")
+        save_model(model, path)
+        report = evaluate(load_model(path), rows)
+        assert report["rows"] == len(rows)
+        # The acceptance bar: <= 25% mispredictions on the run it saw.
+        assert report["rate"] <= 0.25, report
+
+        auto_report = _suite_report("auto", sched_model=path)
+        explicit_report = _suite_report("explicit")
+        assert auto_report["verdicts"] == portfolio_report["verdicts"]
+        assert auto_report["verdicts"] == explicit_report["verdicts"]
+        # Every auto row must carry its scheduling decision.
+        for row in auto_report["shards"]:
+            assert row["sched"]["mode"] in ("solo", "race", "fallback"), row
+
+    def test_auto_agrees_on_random_designs_without_model(self):
+        auto_report = _suite_report("auto", random_count=2)
+        explicit_report = _suite_report("explicit", random_count=2)
+        assert auto_report["verdicts"] == explicit_report["verdicts"]

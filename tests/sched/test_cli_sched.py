@@ -1,0 +1,145 @@
+"""The ``specmatcher sched train|show|eval`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.sched import load_model, schema_fingerprint
+
+
+def _features(coi):
+    return {
+        "coi_size": coi,
+        "registers": max(1, coi // 4),
+        "automaton_states": coi * 3,
+        "bound": 6,
+        "formulas": 3,
+        "free_signals": 2,
+        "sliced": False,
+        "slice_ratio": 1.0,
+    }
+
+
+@pytest.fixture()
+def report_path(tmp_path):
+    shards = [
+        {"status": "ok", "design": "d", "winner": "explicit", "features": _features(c)}
+        for c in (3, 4, 5, 6)
+    ] + [
+        {"status": "ok", "design": "d", "winner": "symbolic", "features": _features(c)}
+        for c in (40, 50, 60, 70)
+    ]
+    path = tmp_path / "report.json"
+    path.write_text(json.dumps({"shards": shards}), encoding="utf-8")
+    return str(path)
+
+
+class TestTrain:
+    def test_train_writes_model(self, report_path, tmp_path, capsys):
+        model_path = str(tmp_path / "model.json")
+        code = main(
+            ["sched", "train", "--from-report", report_path, "--model", model_path]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"wrote {model_path}" in out
+        model = load_model(model_path)
+        assert model.trained_rows == 8
+        assert model.feature_fingerprint == schema_fingerprint()
+
+    def test_train_json_output(self, report_path, tmp_path, capsys):
+        model_path = str(tmp_path / "model.json")
+        code = main(
+            ["sched", "train", "--from-report", report_path,
+             "--model", model_path, "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["model"] == model_path
+        assert payload["trained_rows"] == 8
+
+    def test_train_without_rows_fails_with_guidance(self, tmp_path, capsys):
+        empty = tmp_path / "empty.json"
+        empty.write_text(json.dumps({"shards": []}), encoding="utf-8")
+        code = main(["sched", "train", "--from-report", str(empty),
+                     "--model", str(tmp_path / "m.json")])
+        assert code == 1
+        assert "no usable training rows" in capsys.readouterr().err
+
+
+class TestShow:
+    def test_show_describes_model(self, report_path, tmp_path, capsys):
+        model_path = str(tmp_path / "model.json")
+        main(["sched", "train", "--from-report", report_path, "--model", model_path])
+        capsys.readouterr()
+        assert main(["sched", "show", "--model", model_path]) == 0
+        out = capsys.readouterr().out
+        assert "scheduler model v1" in out
+        assert "rules (first match wins):" in out
+
+    def test_show_missing_model_fails_cleanly(self, tmp_path, capsys):
+        code = main(["sched", "show", "--model", str(tmp_path / "absent.json")])
+        assert code == 1
+        assert "sched:" in capsys.readouterr().err
+
+    def test_show_stale_model_reports_retrain_hint(self, report_path, tmp_path, capsys):
+        model_path = str(tmp_path / "model.json")
+        main(["sched", "train", "--from-report", report_path, "--model", model_path])
+        payload = json.loads(open(model_path, encoding="utf-8").read())
+        payload["feature_schema"]["fingerprint"] = "deadbeefdeadbeef"
+        with open(model_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        capsys.readouterr()
+        code = main(["sched", "show", "--model", model_path])
+        assert code == 1
+        assert "stale feature schema" in capsys.readouterr().err
+
+
+class TestEval:
+    def test_eval_reports_rate(self, report_path, tmp_path, capsys):
+        model_path = str(tmp_path / "model.json")
+        main(["sched", "train", "--from-report", report_path, "--model", model_path])
+        capsys.readouterr()
+        code = main(
+            ["sched", "eval", "--model", model_path, "--from-report", report_path,
+             "--max-rate", "0.25", "--confidence", "0.7", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rows"] == 8
+        assert payload["rate"] == 0.0
+        assert payload["confident_rate"] == 0.0
+
+    def test_eval_max_rate_gate_fails(self, report_path, tmp_path, capsys):
+        model_path = str(tmp_path / "model.json")
+        main(["sched", "train", "--from-report", report_path, "--model", model_path])
+        # Flip every winner so the model mispredicts everything.
+        payload = json.loads(open(report_path, encoding="utf-8").read())
+        for shard in payload["shards"]:
+            shard["winner"] = "bmc"
+        flipped = str(tmp_path / "flipped.json")
+        with open(flipped, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        capsys.readouterr()
+        code = main(
+            ["sched", "eval", "--model", model_path, "--from-report", flipped,
+             "--max-rate", "0.25"]
+        )
+        assert code == 1
+        assert "exceeds" in capsys.readouterr().err
+
+
+class TestCheckFlag:
+    def test_check_accepts_sched_model_and_prints_sched(self, report_path, tmp_path, capsys):
+        model_path = str(tmp_path / "model.json")
+        main(["sched", "train", "--from-report", report_path, "--model", model_path])
+        capsys.readouterr()
+        code = main(
+            ["check", "mal_fig2", "--engine", "auto", "--sched-model", model_path,
+             "--bound", "6"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine   : auto" in out
+        assert "sched    : mode=" in out

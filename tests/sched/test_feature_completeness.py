@@ -1,0 +1,58 @@
+"""Feature-record completeness: every shard row and cache payload must carry
+a fully-populated ``features`` dict for every engine — the learned scheduler
+trains on these records and must never need imputation."""
+
+import pytest
+
+from repro.designs import get_design
+from repro.engines import get_engine
+from repro.runner import expand_jobs, run_suite, suite_to_dict
+from repro.runner.cache import ResultCache, using_result_cache
+from repro.sched import FEATURE_NAMES, feature_complete
+
+_BMC_BOUND = 6
+_ENGINES = ["explicit", "bmc", "symbolic", "portfolio", "auto"]
+
+
+@pytest.mark.parametrize("engine_name", _ENGINES)
+class TestVerdictFeatures:
+    def test_check_primary_features_complete(self, engine_name):
+        engine = get_engine(engine_name, max_bound=_BMC_BOUND)
+        verdict = engine.check_primary(get_design("mal_fig2").builder())
+        assert feature_complete(verdict.features), verdict.features
+        assert set(FEATURE_NAMES) <= set(verdict.features)
+        assert verdict.features["bound"] == _BMC_BOUND
+
+
+@pytest.mark.parametrize("engine_name", _ENGINES)
+class TestCachePayloadFeatures:
+    def test_stored_payloads_carry_complete_features(self, engine_name):
+        """No ``bound: None`` (or any other None) may leak into stored
+        feature records — complete engines key their caches without a bound
+        but must still record the configured one."""
+        engine = get_engine(engine_name, max_bound=_BMC_BOUND)
+        cache = ResultCache()
+        with using_result_cache(cache):
+            engine.check_primary(get_design("mal_fig2").builder())
+        payloads = [p for p in cache._memory.values() if "features" in p]
+        assert payloads, "engine runs must store feature records"
+        for payload in payloads:
+            assert feature_complete(payload["features"]), payload["features"]
+            for name in FEATURE_NAMES:
+                assert payload["features"][name] is not None
+
+
+@pytest.mark.parametrize("engine_name", _ENGINES)
+class TestSuiteRowFeatures:
+    def test_all_shard_rows_fully_populated(self, engine_name):
+        jobs = expand_jobs(["mal_fig2"], engine=engine_name, bound=_BMC_BOUND)
+        result = run_suite(jobs, workers=1, use_cache=True)
+        assert result.succeeded
+        report = suite_to_dict(result)
+        assert report["shards"], "suite must produce shard rows"
+        for row in report["shards"]:
+            assert feature_complete(row["features"]), row
+            for name in FEATURE_NAMES:
+                assert row["features"][name] is not None, (row["job"], name)
+            # bound must be the configured suite bound, never a placeholder
+            assert row["features"]["bound"] == _BMC_BOUND

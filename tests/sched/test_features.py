@@ -1,0 +1,93 @@
+"""The scheduler feature schema: ordering, encoding, fingerprint stability."""
+
+import os
+import subprocess
+import sys
+
+from repro.sched import (
+    FEATURE_NAMES,
+    feature_complete,
+    featurize,
+    schema_fingerprint,
+)
+from repro.sched.features import feature_dict
+
+
+def _full_features(**overrides):
+    base = {
+        "coi_size": 8,
+        "registers": 2,
+        "automaton_states": 32,
+        "bound": 12,
+        "formulas": 5,
+        "free_signals": 5,
+        "sliced": False,
+        "slice_ratio": 1.0,
+    }
+    base.update(overrides)
+    return base
+
+
+class TestFeaturize:
+    def test_vector_follows_schema_order(self):
+        vector = featurize(_full_features())
+        assert vector == [8.0, 2.0, 32.0, 12.0, 5.0, 5.0, 0.0, 1.0]
+        assert feature_dict(vector) == dict(zip(FEATURE_NAMES, vector))
+
+    def test_insertion_order_is_irrelevant(self):
+        features = _full_features()
+        reversed_dict = dict(reversed(list(features.items())))
+        assert featurize(features) == featurize(reversed_dict)
+
+    def test_bools_encode_as_unit_floats(self):
+        assert featurize(_full_features(sliced=True))[FEATURE_NAMES.index("sliced")] == 1.0
+
+    def test_missing_bound_encodes_as_sentinel(self):
+        vector = featurize(_full_features(bound=None))
+        assert vector[FEATURE_NAMES.index("bound")] == -1.0
+
+    def test_other_missing_features_encode_as_zero(self):
+        vector = featurize({})
+        assert vector[FEATURE_NAMES.index("coi_size")] == 0.0
+
+
+class TestFeatureComplete:
+    def test_full_record_is_complete(self):
+        assert feature_complete(_full_features())
+
+    def test_none_bound_is_incomplete(self):
+        assert not feature_complete(_full_features(bound=None))
+
+    def test_missing_key_is_incomplete(self):
+        features = _full_features()
+        del features["registers"]
+        assert not feature_complete(features)
+
+    def test_none_record_is_incomplete(self):
+        assert not feature_complete(None)
+
+
+class TestFingerprint:
+    def test_fingerprint_is_stable_within_process(self):
+        assert schema_fingerprint() == schema_fingerprint()
+
+    def test_fingerprint_is_hash_seed_independent(self):
+        """Models must stay valid across processes with different hash seeds."""
+        script = "from repro.sched import schema_fingerprint; print(schema_fingerprint())"
+        prints = set()
+        for seed in ("0", "1", "12345"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                [os.path.join(os.path.dirname(__file__), "..", "..", "src")]
+                + env.get("PYTHONPATH", "").split(os.pathsep)
+            )
+            output = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                check=True,
+                env=env,
+            )
+            prints.add(output.stdout.strip())
+        assert len(prints) == 1
+        assert prints.pop() == schema_fingerprint()

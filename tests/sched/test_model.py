@@ -1,0 +1,148 @@
+"""The persisted scheduler model: round-trips, validation, rejection."""
+
+import json
+import os
+
+import pytest
+
+from repro.sched import (
+    MODEL_VERSION,
+    SchedModel,
+    SchedModelError,
+    SchedRule,
+    load_model,
+    save_model,
+    schema_fingerprint,
+)
+
+
+def _model():
+    return SchedModel(
+        rules=[
+            SchedRule(
+                feature="coi_size",
+                op=">",
+                threshold=23.0,
+                ranking=("symbolic", "explicit"),
+                purity=1.0,
+                support=4,
+            ),
+            SchedRule(
+                feature="bound",
+                op="<=",
+                threshold=8.0,
+                ranking=("bmc", "explicit"),
+                purity=0.75,
+                support=8,
+            ),
+        ],
+        default_ranking=("explicit", "bmc"),
+        default_purity=0.9,
+        default_support=10,
+        trained_rows=22,
+        engine_wins={"explicit": 13, "symbolic": 4, "bmc": 5},
+    )
+
+
+class TestRoundTrip:
+    def test_payload_round_trip_is_byte_identical(self):
+        model = _model()
+        text = model.to_json()
+        reloaded = SchedModel.from_payload(json.loads(text))
+        assert reloaded.to_json() == text
+
+    def test_save_load_round_trip(self, tmp_path):
+        model = _model()
+        path = str(tmp_path / "model.json")
+        save_model(model, path)
+        reloaded = load_model(path)
+        assert reloaded.to_json() == model.to_json()
+        # Canonical serialization: the bytes on disk ARE the canonical form.
+        with open(path, "r", encoding="utf-8") as handle:
+            assert handle.read() == model.to_json()
+
+    def test_save_creates_parent_directory(self, tmp_path):
+        path = str(tmp_path / "nested" / "dir" / "model.json")
+        save_model(_model(), path)
+        assert os.path.exists(path)
+
+    def test_payload_carries_schema_fingerprint(self):
+        payload = _model().to_payload()
+        assert payload["version"] == MODEL_VERSION
+        assert payload["feature_schema"]["fingerprint"] == schema_fingerprint()
+
+
+class TestPrediction:
+    def test_first_matching_rule_wins(self):
+        model = _model()
+        prediction = model.predict({"coi_size": 50, "bound": 4})
+        assert prediction.engine == "symbolic"
+        assert prediction.rule_index == 0
+
+    def test_later_rule_applies_when_earlier_misses(self):
+        prediction = _model().predict({"coi_size": 5, "bound": 4})
+        assert prediction.engine == "bmc"
+        assert prediction.rule_index == 1
+
+    def test_default_applies_when_no_rule_matches(self):
+        prediction = _model().predict({"coi_size": 5, "bound": 12})
+        assert prediction.engine == "explicit"
+        assert prediction.rule_index is None
+
+    def test_confidence_damped_by_support(self):
+        prediction = _model().predict({"coi_size": 50, "bound": 4})
+        # purity 1.0, support 4 -> 4/5
+        assert prediction.confidence == pytest.approx(0.8)
+        assert 0.0 <= prediction.confidence < 1.0
+
+
+class TestRejection:
+    def test_wrong_version_rejected(self):
+        payload = _model().to_payload()
+        payload["version"] = 99
+        with pytest.raises(SchedModelError, match="version"):
+            SchedModel.from_payload(payload)
+
+    def test_stale_schema_fingerprint_rejected_with_retrain_hint(self):
+        payload = _model().to_payload()
+        payload["feature_schema"]["fingerprint"] = "deadbeefdeadbeef"
+        with pytest.raises(SchedModelError, match="stale feature schema.*sched train"):
+            SchedModel.from_payload(payload)
+
+    def test_unknown_rule_feature_rejected(self):
+        payload = _model().to_payload()
+        payload["rules"][0]["feature"] = "no_such_feature"
+        with pytest.raises(SchedModelError, match="unknown feature"):
+            SchedModel.from_payload(payload)
+
+    def test_unknown_operator_rejected(self):
+        payload = _model().to_payload()
+        payload["rules"][0]["op"] = ">="
+        with pytest.raises(SchedModelError, match="operator"):
+            SchedModel.from_payload(payload)
+
+    def test_empty_default_ranking_rejected(self):
+        payload = _model().to_payload()
+        payload["default"]["ranking"] = []
+        with pytest.raises(SchedModelError, match="default engine ranking"):
+            SchedModel.from_payload(payload)
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(SchedModelError):
+            SchedModel.from_payload([1, 2, 3])
+
+    def test_missing_rule_fields_rejected(self):
+        payload = _model().to_payload()
+        del payload["rules"][0]["threshold"]
+        with pytest.raises(SchedModelError, match="malformed"):
+            SchedModel.from_payload(payload)
+
+    def test_load_missing_file_raises_sched_error(self, tmp_path):
+        with pytest.raises(SchedModelError, match="cannot read"):
+            load_model(str(tmp_path / "absent.json"))
+
+    def test_load_invalid_json_raises_sched_error(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(SchedModelError, match="not valid JSON"):
+            load_model(str(path))

@@ -1,0 +1,266 @@
+"""The deterministic trainer, row collectors and evaluation."""
+
+import json
+import os
+import random
+import subprocess
+import sys
+
+import pytest
+
+from repro.sched import (
+    TrainingRow,
+    collect_rows,
+    evaluate,
+    rows_from_cache_dir,
+    rows_from_report,
+    rows_from_trace,
+    train_predictor,
+)
+
+
+def _features(coi, *, bound=12, sliced=False):
+    return {
+        "coi_size": coi,
+        "registers": max(1, coi // 4),
+        "automaton_states": coi * 3,
+        "bound": bound,
+        "formulas": 3,
+        "free_signals": 2,
+        "sliced": sliced,
+        "slice_ratio": 0.5 if sliced else 1.0,
+    }
+
+
+def _separable_rows():
+    """Small cones won by explicit, large cones by symbolic."""
+    rows = [TrainingRow(features=_features(c), winner="explicit") for c in (3, 4, 5, 6)]
+    rows += [
+        TrainingRow(features=_features(c, sliced=True), winner="symbolic")
+        for c in (40, 50, 60, 70)
+    ]
+    return rows
+
+
+class TestTrainer:
+    def test_empty_rows_raise(self):
+        with pytest.raises(ValueError, match="zero rows"):
+            train_predictor([])
+
+    def test_separable_data_trains_to_zero_mispredictions(self):
+        rows = _separable_rows()
+        model = train_predictor(rows)
+        report = evaluate(model, rows)
+        assert report["rate"] == 0.0
+        assert report["rows"] == len(rows)
+
+    def test_training_is_row_order_independent(self):
+        rows = _separable_rows() + [
+            TrainingRow(features=_features(12), winner="bmc"),
+            TrainingRow(features=_features(13), winner="bmc"),
+        ]
+        baseline = train_predictor(rows).to_json()
+        rng = random.Random(7)
+        for _ in range(5):
+            shuffled = list(rows)
+            rng.shuffle(shuffled)
+            assert train_predictor(shuffled).to_json() == baseline
+
+    def test_training_is_hash_seed_independent(self):
+        """Byte-identical model JSON across PYTHONHASHSEED values."""
+        script = (
+            "from repro.sched import TrainingRow, train_predictor\n"
+            "def f(c):\n"
+            "    return {'coi_size': c, 'registers': c // 4 or 1,"
+            " 'automaton_states': c * 3, 'bound': 12, 'formulas': 3,"
+            " 'free_signals': 2, 'sliced': False, 'slice_ratio': 1.0}\n"
+            "rows = [TrainingRow(features=f(c), winner='explicit') for c in (3, 4, 5)]\n"
+            "rows += [TrainingRow(features=f(c), winner='symbolic') for c in (40, 50, 60)]\n"
+            "rows += [TrainingRow(features=f(c), winner='bmc') for c in (12, 13)]\n"
+            "import sys; sys.stdout.write(train_predictor(rows).to_json())\n"
+        )
+        outputs = set()
+        for seed in ("0", "1", "12345"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                [os.path.join(os.path.dirname(__file__), "..", "..", "src")]
+                + env.get("PYTHONPATH", "").split(os.pathsep)
+            )
+            result = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                check=True,
+                env=env,
+            )
+            outputs.add(result.stdout)
+        assert len(outputs) == 1
+
+    def test_accepts_mappings_and_pairs(self):
+        rows = [
+            {"features": _features(3), "winner": "explicit"},
+            (_features(50), "symbolic"),
+            TrainingRow(features=_features(4), winner="explicit"),
+        ]
+        model = train_predictor(rows)
+        assert model.trained_rows == 3
+
+    def test_max_rules_caps_the_decision_list(self):
+        rows = []
+        for c, winner in ((1, "explicit"), (10, "bmc"), (20, "symbolic"), (30, "explicit")):
+            rows.extend(TrainingRow(features=_features(c), winner=winner) for _ in range(2))
+        model = train_predictor(rows, max_rules=1)
+        assert len(model.rules) <= 1
+
+    def test_min_support_skips_tiny_rules(self):
+        rows = _separable_rows()
+        model = train_predictor(rows, min_support=10)
+        # No rule may cover 10 of 8 rows, so the list must be empty.
+        assert model.rules == []
+        assert model.default_ranking[0] in ("explicit", "symbolic")
+
+    def test_uniform_rows_use_pure_default_with_no_rules(self):
+        rows = [TrainingRow(features=_features(c), winner="bmc") for c in (1, 2, 3)]
+        model = train_predictor(rows)
+        assert model.rules == []
+        assert model.default_ranking == ("bmc",)
+        assert model.default_purity == 1.0
+
+
+class TestEvaluate:
+    def test_mispredictions_counted_per_engine(self):
+        rows = _separable_rows()
+        model = train_predictor(rows[:4])  # trained only on explicit rows
+        report = evaluate(model, rows)
+        assert report["mispredictions"] == 4
+        assert report["per_engine"]["symbolic"]["hits"] == 0
+        assert report["per_engine"]["explicit"]["hits"] == 4
+
+    def test_confidence_split(self):
+        rows = _separable_rows()
+        model = train_predictor(rows)
+        report = evaluate(model, rows, confidence_threshold=0.7)
+        assert report["confidence_threshold"] == 0.7
+        assert report["confident_rows"] + report["mispredictions"] <= report["rows"] + 1
+        assert report["confident_rate"] == 0.0
+
+
+class TestRowCollectors:
+    def _report_payload(self):
+        return {
+            "shards": [
+                {
+                    "status": "ok",
+                    "design": "d1",
+                    "winner": "explicit",
+                    "features": _features(4),
+                    "sched": {"mode": "race"},
+                },
+                {
+                    "status": "ok",
+                    "design": "d1",
+                    "winner": "bmc",
+                    "features": _features(6),
+                    "sched": None,  # plain portfolio row
+                },
+                {  # solo auto row: excluded by default
+                    "status": "ok",
+                    "design": "d2",
+                    "winner": "symbolic",
+                    "features": _features(50),
+                    "sched": {"mode": "solo", "predicted": ["symbolic"], "hit": True},
+                },
+                {  # errored shard: never a training row
+                    "status": "error",
+                    "design": "d3",
+                    "winner": "explicit",
+                    "features": _features(9),
+                },
+                {  # explicit-engine shard: no winner, no row
+                    "status": "ok",
+                    "design": "d4",
+                    "winner": None,
+                    "features": _features(9),
+                },
+            ]
+        }
+
+    def test_rows_from_report_skips_solo_errors_and_winnerless(self):
+        rows = rows_from_report(self._report_payload())
+        assert [(r.winner, r.design) for r in rows] == [("explicit", "d1"), ("bmc", "d1")]
+        assert all(r.source == "report" for r in rows)
+
+    def test_include_solo_keeps_solo_rows(self):
+        rows = rows_from_report(self._report_payload(), include_solo=True)
+        assert [r.winner for r in rows] == ["explicit", "bmc", "symbolic"]
+
+    def test_rows_from_report_accepts_a_path(self, tmp_path):
+        path = tmp_path / "report.json"
+        path.write_text(json.dumps(self._report_payload()), encoding="utf-8")
+        assert len(rows_from_report(str(path))) == 2
+
+    def test_rows_from_cache_dir(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        (cache_dir / "ab").mkdir(parents=True)
+        entry = {
+            "satisfiable": True,
+            "winner": "bmc",
+            "features": _features(7),
+            "sched": {"mode": "race"},
+        }
+        (cache_dir / "ab" / "abcd.json").write_text(json.dumps(entry), encoding="utf-8")
+        # winner-less entry (explicit engine), corrupt entry, dotfile: skipped
+        (cache_dir / "ab" / "eeee.json").write_text(
+            json.dumps({"satisfiable": False, "features": _features(3)}), encoding="utf-8"
+        )
+        (cache_dir / "ab" / "ffff.json").write_text("{broken", encoding="utf-8")
+        (cache_dir / ".stats.json").write_text("{}", encoding="utf-8")
+        rows = rows_from_cache_dir(str(cache_dir))
+        assert [(r.winner, r.source) for r in rows] == [("bmc", "cache")]
+
+    def test_rows_from_trace(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        lines = [
+            json.dumps(
+                {
+                    "type": "span",
+                    "name": "portfolio_race",
+                    "attrs": {"winner": "explicit", "mode": "race",
+                              "design": "d", "features": _features(4)},
+                }
+            ),
+            json.dumps(
+                {
+                    "type": "span",
+                    "name": "sched_decision",
+                    "attrs": {"winner": "bmc", "mode": "solo",
+                              "design": "d", "features": _features(5)},
+                }
+            ),
+            json.dumps({"type": "span", "name": "engine_run", "attrs": {}}),
+            "not json at all",
+        ]
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        rows = rows_from_trace(str(path))
+        assert [r.winner for r in rows] == ["explicit"]
+        rows_with_solo = rows_from_trace(str(path), include_solo=True)
+        assert [r.winner for r in rows_with_solo] == ["explicit", "bmc"]
+
+    def test_collect_rows_unions_all_sources(self, tmp_path):
+        report = tmp_path / "report.json"
+        report.write_text(json.dumps(self._report_payload()), encoding="utf-8")
+        trace = tmp_path / "trace.jsonl"
+        trace.write_text(
+            json.dumps(
+                {
+                    "type": "span",
+                    "name": "portfolio_race",
+                    "attrs": {"winner": "symbolic", "mode": "ladder",
+                              "features": _features(30)},
+                }
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+        rows = collect_rows(reports=[str(report)], traces=[str(trace)])
+        assert sorted(r.winner for r in rows) == ["bmc", "explicit", "symbolic"]
