@@ -7,12 +7,11 @@ monolithic tableau grows exponentially with the number of properties while the
 compositional product stays linear in the reachable joint states.
 """
 
-import pytest
 
 from repro.ltl import ltl_to_gba, parse
 from repro.ltl.monitor import safety_monitor_gba
 from repro.ltl.product import conjunction_to_gba
-from repro.designs import arbiter_properties_fig4, build_mal_with_gap
+from repro.designs import build_mal_with_gap
 from repro.mc import ProductStatistics, build_kripke, kripke_automata_product
 from repro.ltl.monitor import monitor_or_tableau
 

@@ -42,8 +42,8 @@ def main() -> None:
         full = comparison.full
         print(
             f"full model checking explored {full.statistics.product_states} product states "
-            f"over the complete RTL; the coverage analysis only ever model-checks the "
-            f"concrete glue blocks."
+            "over the complete RTL; the coverage analysis only ever model-checks the "
+            "concrete glue blocks."
         )
         if not comparison.hybrid.covered and comparison.hybrid.witness is not None:
             print("\nRefuting run found by the coverage analysis (first cycles):")

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Sequence
 
 from ..ltl.ast import Formula, Not, atoms_of
 from ..ltl.traces import LassoTrace

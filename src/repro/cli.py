@@ -20,6 +20,13 @@ Sub-commands
 ``specmatcher sched``
     Train (``train``), inspect (``show``) or evaluate (``eval``) the learned
     engine-scheduler model consumed by ``--engine auto``.
+``specmatcher serve``
+    Run the long-lived coverage service: an HTTP/JSON daemon that keeps the
+    compiled-problem and result caches (and the scheduler model) warm across
+    requests, with per-client quotas and a graceful SIGTERM drain.
+``specmatcher submit``
+    Send one ``check`` / ``analyze`` / ``suite`` job to a running daemon;
+    exit codes mirror the one-shot subcommands.
 
 ``specmatcher --version`` prints the package version (from the installed
 package metadata when available).
@@ -133,6 +140,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     check_parser = sub.add_parser("check", parents=[common], help="primary coverage question for a design")
     check_parser.add_argument("design", choices=design_names())
+    check_parser.add_argument(
+        "--json",
+        action="store_true",
+        help=(
+            "emit the canonical JSON verdict payload (the same shape the "
+            "coverage service returns — `specmatcher submit check` output "
+            "byte-matches this modulo timing fields)"
+        ),
+    )
+    check_parser.add_argument(
+        "--index",
+        type=_non_negative_int,
+        default=None,
+        metavar="N",
+        help="with --json: check only architectural conjunct N",
+    )
     add_backend_flags(check_parser)
 
     analyze_parser = sub.add_parser("analyze", parents=[common], help="full coverage-gap analysis for a design")
@@ -305,6 +328,148 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit machine-readable JSON instead of text",
     )
+
+    serve_parser = sub.add_parser(
+        "serve",
+        parents=[common],
+        help="run the long-lived coverage service (HTTP/JSON daemon, warm caches)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address (default: %(default)s)")
+    serve_parser.add_argument(
+        "--port",
+        type=_non_negative_int,
+        default=8123,
+        help="bind port; 0 picks an ephemeral port (default: %(default)s)",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=8,
+        help="maximum concurrently executing jobs (default: %(default)s)",
+    )
+    serve_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "persistent result-cache directory shared across restarts and "
+            "suite workers (default: warm in-memory cache only)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--sched-model",
+        metavar="FILE",
+        default=None,
+        help="scheduler model to keep warm for --engine auto requests",
+    )
+    serve_parser.add_argument(
+        "--quota-rate",
+        type=float,
+        default=20.0,
+        metavar="TOKENS_PER_SECOND",
+        help="per-client token-bucket refill rate; <= 0 disables quotas (default: %(default)s)",
+    )
+    serve_parser.add_argument(
+        "--quota-burst",
+        type=int,
+        default=40,
+        metavar="TOKENS",
+        help="per-client token-bucket capacity (default: %(default)s)",
+    )
+    serve_parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="default per-request budget when a job names none (default: %(default)s)",
+    )
+    serve_parser.add_argument(
+        "--suite-workers",
+        type=int,
+        default=4,
+        metavar="N",
+        help="cap on the process-pool size a suite job may request (default: %(default)s)",
+    )
+    serve_parser.add_argument(
+        "--ready-file",
+        metavar="FILE",
+        default=None,
+        help="write {host, port, pid} JSON here once listening (for scripts/CI)",
+    )
+    serve_parser.add_argument(
+        "--preload",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="python file to exec before serving (register custom engines/designs); repeatable",
+    )
+
+    submit_parser = sub.add_parser(
+        "submit",
+        parents=[common],
+        help="submit one job to a running coverage service",
+    )
+    submit_parser.add_argument("kind", choices=("check", "analyze", "suite"))
+    submit_parser.add_argument(
+        "design",
+        nargs="?",
+        default=None,
+        help="design name (check/analyze; validated server-side)",
+    )
+    submit_parser.add_argument("--host", default="127.0.0.1", help="service address (default: %(default)s)")
+    submit_parser.add_argument("--port", type=int, required=True, help="service port")
+    submit_parser.add_argument(
+        "--client",
+        default=None,
+        metavar="ID",
+        help="client id for quota accounting (default: the connection's address)",
+    )
+    submit_parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request budget enforced by the server (default: server's)",
+    )
+    submit_parser.add_argument(
+        "--index", type=_non_negative_int, default=None, metavar="N",
+        help="check: only architectural conjunct N",
+    )
+    submit_parser.add_argument("--max-witnesses", type=int, default=None, help="analyze")
+    submit_parser.add_argument("--depth", type=int, default=None, help="analyze")
+    submit_parser.add_argument("--no-witnesses", action="store_true", help="analyze")
+    submit_parser.add_argument(
+        "--designs", nargs="+", metavar="NAME", default=None, help="suite: restrict designs"
+    )
+    submit_parser.add_argument(
+        "--random", type=_non_negative_int, default=None, metavar="N", help="suite"
+    )
+    submit_parser.add_argument("--seed", type=int, default=None, help="suite")
+    submit_parser.add_argument("--no-signals", action="store_true", help="suite")
+    submit_parser.add_argument(
+        "--workers", type=int, default=None, help="suite: worker processes (server-capped)"
+    )
+    submit_parser.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS", help="suite"
+    )
+    submit_parser.add_argument(
+        "--engine",
+        choices=engine_choices(),
+        default=None,
+        help="coverage engine (default: the server's default, explicit)",
+    )
+    submit_parser.add_argument(
+        "--prop-backend",
+        choices=sorted(prop_backend_names()),
+        default=None,
+        help="propositional backend",
+    )
+    submit_parser.add_argument(
+        "--bound", type=_non_negative_int, default=None, help="bmc unrolling bound"
+    )
+    submit_parser.add_argument(
+        "--no-slice", action="store_true", help="disable cone-of-influence slicing"
+    )
     return parser
 
 
@@ -339,6 +504,39 @@ def _cmd_list() -> int:
 
 
 def _cmd_check(design: str, args: argparse.Namespace) -> int:
+    if args.json:
+        # Route through the service's validation + execution layer so the
+        # printed payload is byte-identical to what `specmatcher submit
+        # check` reports from a daemon (modulo timing fields).
+        import json as _json
+
+        from .service import (
+            RequestValidationError,
+            ServiceDefaults,
+            execute_job,
+            exit_code_for,
+            validate_request,
+        )
+
+        body = {
+            "design": design,
+            "engine": args.engine,
+            "prop_backend": args.prop_backend,
+            "bound": args.bound,
+            "slicing": _slicing_from_args(args),
+        }
+        if args.index is not None:
+            body["index"] = args.index
+        try:
+            request = validate_request("check", body)
+            payload = execute_job(
+                request, ServiceDefaults(sched_model=args.sched_model)
+            )
+        except RequestValidationError as exc:
+            print(f"check: invalid request: {exc}", file=sys.stderr)
+            return 2
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+        return exit_code_for(payload)
     entry = get_design(design)
     problem = entry.builder()
     engine = get_engine(
@@ -575,6 +773,141 @@ def _cmd_sched(args: argparse.Namespace) -> int:
         return 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json as _json
+    import os
+    import signal as _signal
+    import threading
+
+    from .service import CoverageService, ServiceConfig
+
+    for path in args.preload:
+        # Execute plugin files (custom engines / designs) before the first
+        # request — the registries are process-global, so anything they
+        # register is immediately servable (and validates).
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            f"specmatcher_preload_{abs(hash(path)) & 0xFFFF:x}", path
+        )
+        if spec is None or spec.loader is None:
+            print(f"serve: cannot load preload file {path!r}", file=sys.stderr)
+            return 2
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+
+    service = CoverageService(
+        ServiceConfig(
+            host=args.host,
+            port=args.port,
+            workers=max(1, args.workers),
+            cache_dir=args.cache_dir,
+            sched_model=args.sched_model,
+            quota_rate=args.quota_rate,
+            quota_burst=max(1, args.quota_burst),
+            request_timeout=args.request_timeout,
+            max_suite_workers=max(1, args.suite_workers),
+        )
+    )
+    port = service.start()
+    if args.ready_file:
+        payload = {"host": args.host, "port": port, "pid": os.getpid()}
+        tmp = args.ready_file + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            _json.dump(payload, handle)
+        os.replace(tmp, args.ready_file)
+    print(f"specmatcher service listening on {args.host}:{port}", flush=True)
+
+    stop = threading.Event()
+
+    def _request_stop(signum, frame):  # pragma: no cover - signal path
+        stop.set()
+
+    previous = {}
+    for signame in ("SIGTERM", "SIGINT"):
+        signum = getattr(_signal, signame, None)
+        if signum is not None:
+            try:
+                previous[signum] = _signal.signal(signum, _request_stop)
+            except (ValueError, OSError):  # pragma: no cover - non-main thread
+                pass
+    try:
+        stop.wait()
+        print("specmatcher service draining (waiting for in-flight jobs)", flush=True)
+        drained = service.drain()
+        print(
+            "specmatcher service stopped"
+            + ("" if drained else " (drain timed out with jobs in flight)"),
+            flush=True,
+        )
+        return 0 if drained else 1
+    finally:
+        for signum, handler in previous.items():
+            try:
+                _signal.signal(signum, handler)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .service import ServiceClient, ServiceError, ServiceUnavailable
+    from .service.jobs import exit_code_for
+
+    body = {}
+
+    def put(field, value):
+        if value is not None:
+            body[field] = value
+
+    if args.kind in ("check", "analyze"):
+        if args.design is None:
+            print(f"submit: {args.kind} needs a design name", file=sys.stderr)
+            return 2
+        body["design"] = args.design
+    elif args.design is not None:
+        print("submit: suite takes no positional design (use --designs)", file=sys.stderr)
+        return 2
+    put("engine", args.engine)
+    put("prop_backend", args.prop_backend)
+    put("bound", args.bound)
+    if args.no_slice:
+        body["slicing"] = False
+    put("timeout", args.job_timeout)
+    if args.kind == "check":
+        put("index", args.index)
+    if args.kind == "analyze":
+        put("max_witnesses", args.max_witnesses)
+        put("depth", args.depth)
+        if args.no_witnesses:
+            body["witnesses"] = False
+    if args.kind == "suite":
+        put("designs", args.designs)
+        put("random", args.random)
+        put("seed", args.seed)
+        if args.no_signals:
+            body["include_signals"] = False
+        put("workers", args.workers)
+        put("shard_timeout", args.shard_timeout)
+
+    client = ServiceClient(args.host, args.port, client_id=args.client)
+    try:
+        payload = client.submit(args.kind, body)
+    except ServiceError as exc:
+        print(
+            _json.dumps(exc.payload, indent=2, sort_keys=True), file=sys.stderr
+        )
+        if exc.status == 429:
+            return 3
+        return 2
+    except ServiceUnavailable as exc:
+        print(f"submit: service unreachable: {exc}", file=sys.stderr)
+        return 2
+    print(_json.dumps(payload, indent=2, sort_keys=True))
+    return exit_code_for(payload)
+
+
 def _cmd_timing() -> int:
     design = build_full_mal_fig2()
     for title, stimulus in (
@@ -610,6 +943,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_cache(args)
         if args.command == "sched":
             return _cmd_sched(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "submit":
+            return _cmd_submit(args)
         if args.command == "timing":
             return _cmd_timing()
         raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

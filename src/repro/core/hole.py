@@ -16,7 +16,7 @@ used to validate them (and to cross-check the legible output against them).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional
 
 from ..ltl.ast import Formula, Not, Or, conj
 from ..ltl.rewrite import simplify

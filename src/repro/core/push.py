@@ -13,7 +13,7 @@ the property — the input to the weakening heuristics of step 2(d).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from ..ltl.ast import (
     Always,

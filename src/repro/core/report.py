@@ -2,9 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Sequence
 
-from ..ltl.printer import to_str
 from ..rtl.waveform import render_table
 from .coverage import CoverageReport, GapAnalysis
 

@@ -18,7 +18,7 @@ model-relative check.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import FrozenSet, List, Optional
 
 from ..ltl.ast import Formula, atoms_of, conj
 from ..rtl.elaborate import compose

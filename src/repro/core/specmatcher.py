@@ -21,7 +21,7 @@ strings (parsed with :func:`repro.ltl.parse`); concrete modules as
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Union
+from typing import Optional, Sequence, Union
 
 from ..ltl.ast import Formula
 from ..ltl.parser import parse

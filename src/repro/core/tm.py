@@ -25,8 +25,8 @@ formulas, as prescribed after Definition 4.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..engines.prop import active_prop_backend, using_prop_backend
 from ..logic.boolexpr import FALSE as BOOL_FALSE, TRUE as BOOL_TRUE, AndExpr, BoolExpr, Const, NotExpr, OrExpr, Var, XorExpr

@@ -25,8 +25,8 @@ Every candidate is then
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .coverage import CoverageOptions
@@ -35,7 +35,7 @@ from ..ltl.ast import And, Atom, Formula, Next, Not, Or
 from ..ltl.printer import to_str
 from ..ltl.rewrite import simplify, substitute_atom_instance
 from ..ltl.sat import implies as ltl_implies
-from .push import AtomInstance, WeakeningSuggestion
+from .push import WeakeningSuggestion
 
 __all__ = ["GapCandidate", "apply_weakening", "generate_candidates", "select_weakest"]
 

@@ -33,8 +33,7 @@ specified behaviour.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from ..logic.boolexpr import and_, not_, or_, var
 from ..ltl.ast import Formula

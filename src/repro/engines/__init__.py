@@ -49,6 +49,7 @@ from .coverage import (
     engine_names,
     get_engine,
     register_engine,
+    unregister_engine,
 )
 from .portfolio import PortfolioEngine
 from .symbolic import SymbolicEngine
@@ -77,6 +78,7 @@ __all__ = [
     "engine_names",
     "engine_choices",
     "register_engine",
+    "unregister_engine",
     "engine_from_options",
     "CancelToken",
     "Cancelled",

@@ -41,6 +41,7 @@ __all__ = [
     "ExplicitEngine",
     "BmcEngine",
     "register_engine",
+    "unregister_engine",
     "get_engine",
     "engine_names",
     "engine_choices",
@@ -359,6 +360,18 @@ def register_engine(name: str, factory: Callable[..., CoverageEngine]) -> None:
     """Register an engine factory; keyword arguments pass through lookups."""
     _ENGINES[name] = factory
     _ALIASES[name] = name
+
+
+def unregister_engine(name: str) -> None:
+    """Remove a plugin-registered engine again (test/teardown hook).
+
+    Built-in engines can be removed too — the registry does not distinguish —
+    so callers should only unregister what they registered.  Unknown names
+    are ignored.
+    """
+    _ENGINES.pop(name, None)
+    if _ALIASES.get(name) == name:
+        _ALIASES.pop(name, None)
 
 
 register_engine("explicit", ExplicitEngine)

@@ -28,7 +28,7 @@ raw enumerating reference implementations remain available as
 from __future__ import annotations
 
 import weakref
-from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Sequence, Tuple
 
 __all__ = [
     "BoolExpr",

@@ -22,7 +22,7 @@ language, so violations simply have no run).
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, Set, Tuple
 
 from ..logic.boolexpr import all_assignments
 from .ast import (

@@ -13,12 +13,11 @@ components is the Kripke structure of the concrete modules.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
 
 from .ast import Formula, conj
 from .buchi import GeneralizedBuchi, Literal
 from .rewrite import conjuncts
-from .tableau import ltl_to_gba
 
 __all__ = ["labels_consistent", "join_labels", "gba_product", "conjunction_to_gba"]
 

@@ -14,7 +14,7 @@ automaton layer:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+from typing import Mapping, Sequence, Tuple
 
 from .ast import (
     FALSE,

@@ -20,7 +20,7 @@ RTL properties — do not hit Python's recursion limit.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Set, Tuple
 
 from .ast import (
     Atom,

@@ -23,7 +23,6 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..logic.cube import Cube
 from .ast import (
-    FALSE,
     TRUE,
     Always,
     And,
@@ -42,7 +41,6 @@ from .ast import (
     WeakUntil,
     Xn,
     conj,
-    disj,
 )
 from .rewrite import nnf, simplify
 from .traces import LassoTrace

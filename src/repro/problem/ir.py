@@ -35,7 +35,7 @@ import hashlib
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..ltl.ast import Formula, atom_support, atoms_of
 from ..ltl.buchi import GeneralizedBuchi

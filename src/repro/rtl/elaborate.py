@@ -17,7 +17,7 @@ hierarchy) makes name-based composition the natural choice.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Set
+from typing import Dict, Iterable, Sequence, Set
 
 from .netlist import Module, NetlistError
 

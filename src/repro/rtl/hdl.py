@@ -34,10 +34,10 @@ Grammar summary
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..logic.boolexpr import BoolExpr, and_, const, not_, or_, var, xor
-from .netlist import Module, NetlistError
+from .netlist import Module
 
 __all__ = ["parse_hdl", "parse_module", "parse_expr", "HDLError", "module_to_hdl"]
 

@@ -24,7 +24,7 @@ the property automata can constrain them in the product.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..logic.boolexpr import all_assignments
 from .netlist import Module

@@ -24,9 +24,9 @@ single driver per signal, no undeclared signals, and no combinational cycles
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
 
-from ..logic.boolexpr import BoolExpr, Const, and_, const, var
+from ..logic.boolexpr import BoolExpr
 
 __all__ = ["Module", "Register", "NetlistError"]
 

@@ -14,7 +14,7 @@ reproduction directly from a simulation trace::
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from .simulator import SimulationTrace
 

@@ -32,9 +32,10 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 from collections import OrderedDict
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 try:  # POSIX only; the sidecar merge degrades to lockless on other platforms
@@ -384,6 +385,12 @@ class ResultCache:
             memory_limit = self.DEFAULT_MEMORY_LIMIT
         self.memory_limit = memory_limit
         self._memory: "OrderedDict[str, dict]" = OrderedDict()
+        # One cache instance is shared by racing portfolio threads and by the
+        # service daemon's request handlers; the LRU bookkeeping
+        # (move_to_end + popitem) is a multi-step mutation, so it runs under
+        # a lock.  Disk I/O stays outside the lock — entry files are written
+        # atomically and identical for a given key.
+        self._memory_lock = threading.RLock()
         self.stats = CacheStats()
         if self.cache_dir:
             os.makedirs(self.cache_dir, exist_ok=True)
@@ -393,19 +400,21 @@ class ResultCache:
         return os.path.join(self.cache_dir, key[:2], key + ".json")
 
     def _remember(self, key: str, payload: dict) -> None:
-        self._memory[key] = payload
-        self._memory.move_to_end(key)
-        if self.memory_limit is not None and len(self._memory) > self.memory_limit:
-            self._memory.popitem(last=False)
-            self.stats.evictions += 1
-            metrics().inc("result_cache.evictions")
+        with self._memory_lock:
+            self._memory[key] = payload
+            self._memory.move_to_end(key)
+            if self.memory_limit is not None and len(self._memory) > self.memory_limit:
+                self._memory.popitem(last=False)
+                self.stats.evictions += 1
+                metrics().inc("result_cache.evictions")
 
     def get(self, key: str) -> Optional[dict]:
         """The stored payload for ``key``, or ``None`` (counted as hit/miss)."""
-        payload = self._memory.get(key)
-        if payload is not None:
-            self._memory.move_to_end(key)
-        elif self.cache_dir:
+        with self._memory_lock:
+            payload = self._memory.get(key)
+            if payload is not None:
+                self._memory.move_to_end(key)
+        if payload is None and self.cache_dir:
             try:
                 with open(self._path(key), "r", encoding="utf-8") as handle:
                     payload = json.load(handle)

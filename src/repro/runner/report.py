@@ -13,7 +13,7 @@ answer BENCH_engines.json could not give.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from .suite import ShardResult, SuiteResult
 

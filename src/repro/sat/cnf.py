@@ -11,7 +11,7 @@ conjunction of clauses.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 __all__ = ["Literal", "Clause", "CNF", "VariablePool", "CNFError"]
 

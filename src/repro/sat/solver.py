@@ -21,7 +21,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from .cnf import CNF, Clause, Literal
+from .cnf import CNF, Literal
 
 __all__ = ["SatResult", "SatSolver", "solve", "solve_brute_force"]
 

@@ -164,7 +164,7 @@ class SchedModel:
             raise SchedModelError(
                 f"stale feature schema: model has {fingerprint!r}, "
                 f"current schema is {schema_fingerprint()!r} — retrain with "
-                f"`specmatcher sched train`"
+                "`specmatcher sched train`"
             )
         try:
             rules = [

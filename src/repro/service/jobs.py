@@ -1,0 +1,302 @@
+"""Execution of validated service jobs on the existing engine/runner stack.
+
+:func:`execute_job` is the single choke point both front doors share:
+
+* the HTTP daemon (:mod:`repro.service.server`) calls it from a handler
+  thread with the server's warm caches installed;
+* the one-shot ``specmatcher check --json`` path calls it directly.
+
+Because both produce the *same* payload from the same code, a verdict served
+over HTTP byte-matches the one-shot CLI's (modulo the volatile
+``elapsed_seconds`` / ``timings`` / ``cache`` envelope fields) — the property
+the CI service lane asserts.
+
+Per-request timeouts reuse the portfolio's cooperative cancellation tokens
+(:mod:`repro.engines.cancel`): the job runs under a fresh
+:class:`~repro.engines.cancel.CancelToken` armed by a ``threading.Timer``,
+every engine search loop already polls it, and a fired timer surfaces as
+:class:`JobTimeout` (the HTTP layer's 504).  ``SIGALRM`` is useless here —
+handler threads are never the main thread — which is exactly why the tokens
+exist.
+
+Thread-safety note: the propositional backend is process-global
+(:func:`repro.engines.prop.using_prop_backend` swaps it), so requests that
+ask for a specific non-``auto`` backend are serialised through one lock;
+``auto`` requests (the default) run fully concurrently under whatever
+backend the server booted with.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..engines.cancel import Cancelled, CancelToken, using_cancel_token
+
+__all__ = [
+    "JobRequest",
+    "JobTimeout",
+    "ServiceDefaults",
+    "execute_job",
+    "exit_code_for",
+]
+
+
+class JobTimeout(Exception):
+    """The per-request timeout fired before the job produced a verdict."""
+
+    def __init__(self, seconds: float):
+        super().__init__(f"job exceeded its {seconds:.1f}s timeout")
+        self.seconds = seconds
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One validated job (the only shape the execution layer accepts)."""
+
+    kind: str  # "check" | "analyze" | "suite"
+    engine: str = "explicit"
+    prop_backend: str = "auto"
+    bound: int = 12
+    slicing: object = "auto"
+    #: Per-request wall-clock budget in seconds (``None`` = server default).
+    timeout: Optional[float] = None
+    # check / analyze
+    design: Optional[str] = None
+    index: Optional[int] = None  # check: one architectural conjunct
+    max_witnesses: int = 3
+    depth: int = 5
+    witnesses: bool = True
+    # suite
+    designs: Optional[Tuple[str, ...]] = None
+    random: int = 0
+    seed: int = 0
+    include_signals: bool = True
+    workers: int = 1
+    shard_timeout: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class ServiceDefaults:
+    """Server-side knobs the execution layer needs (all optional).
+
+    ``sched_model`` is the warm scheduler model path handed to ``auto``
+    engines; ``cache_dir`` is forwarded to suite jobs so process-pool workers
+    share the daemon's persistent cache directory; ``max_suite_workers`` caps
+    what a request may ask for.
+    """
+
+    sched_model: Optional[str] = None
+    cache_dir: Optional[str] = None
+    max_suite_workers: int = 4
+
+
+_BACKEND_LOCK = threading.Lock()
+
+
+@contextmanager
+def _backend_scope(name: str):
+    """Serialise non-default prop-backend switches (the backend is global)."""
+    from ..engines import active_prop_backend, using_prop_backend
+
+    if name in (None, "auto") and active_prop_backend().name in ("auto", name):
+        yield
+        return
+    with _BACKEND_LOCK:
+        with using_prop_backend(name):
+            yield
+
+
+def execute_job(
+    request: JobRequest, defaults: Optional[ServiceDefaults] = None
+) -> Dict[str, object]:
+    """Run one validated job and return its JSON-ready response payload.
+
+    Raises :class:`JobTimeout` when ``request.timeout`` fires first; any
+    other exception propagates (the HTTP layer maps it to a 500).
+    """
+    defaults = defaults or ServiceDefaults()
+    runner = {
+        "check": _run_check,
+        "analyze": _run_analyze,
+        "suite": _run_suite,
+    }[request.kind]
+    if request.timeout is None:
+        return runner(request, defaults)
+    token = CancelToken()
+    timer = threading.Timer(request.timeout, token.cancel)
+    timer.daemon = True
+    timer.start()
+    try:
+        with using_cancel_token(token, member="service"):
+            return runner(request, defaults)
+    except Cancelled:
+        raise JobTimeout(request.timeout) from None
+    finally:
+        timer.cancel()
+
+
+def exit_code_for(payload: Dict[str, object]) -> int:
+    """The one-shot CLI exit code a job payload maps to.
+
+    Mirrors the existing subcommands: ``check`` fails (1) when the verdict
+    contradicts the catalog's expected coverage, ``suite`` fails when any
+    shard errored or timed out, ``analyze`` always succeeds.
+    """
+    if payload.get("job") == "check":
+        expected = payload.get("expected_covered")
+        if expected is None:
+            return 0
+        return 0 if payload["verdict"]["covered"] == expected else 1
+    if payload.get("job") == "suite":
+        counts = payload.get("counts", {})
+        failed = counts.get("error", 0) + counts.get("timeout", 0)
+        return 1 if failed else 0
+    return 0
+
+
+# -- job runners ---------------------------------------------------------------
+
+
+def _engine_for(request: JobRequest, defaults: ServiceDefaults):
+    from ..engines import get_engine
+
+    return get_engine(
+        request.engine,
+        max_bound=request.bound,
+        slicing=request.slicing,
+        model_path=defaults.sched_model,
+    )
+
+
+def _cache_delta_scope():
+    """Snapshot the active result cache's counters around one job."""
+    from ..runner.cache import CacheStats, active_result_cache
+
+    cache = active_result_cache()
+    before = cache.stats.snapshot() if cache else CacheStats()
+
+    def delta() -> Dict[str, int]:
+        after = cache.stats.delta(before) if cache else CacheStats()
+        return {
+            "hits": after.hits,
+            "misses": after.misses,
+            "stores": after.stores,
+        }
+
+    return delta
+
+
+def _run_check(request: JobRequest, defaults: ServiceDefaults) -> Dict[str, object]:
+    from ..designs import get_design
+    from ..obs import PhaseAggregator
+    from ..runner.cache import encode_trace
+
+    entry = get_design(request.design)
+    problem = entry.builder()
+    if request.index is not None and request.index >= len(problem.architectural):
+        from .validation import RequestValidationError, ValidationError
+
+        raise RequestValidationError(
+            [
+                ValidationError(
+                    "index",
+                    f"design {request.design!r} has "
+                    f"{len(problem.architectural)} architectural conjunct(s), "
+                    f"index {request.index} is out of range",
+                )
+            ]
+        )
+    architectural = (
+        problem.architectural[request.index] if request.index is not None else None
+    )
+    engine = _engine_for(request, defaults)
+    delta = _cache_delta_scope()
+    with _backend_scope(request.prop_backend):
+        with PhaseAggregator() as phases:
+            verdict = engine.check_primary(problem, architectural=architectural)
+    return {
+        "job": "check",
+        "design": request.design,
+        "index": request.index,
+        "engine": verdict.engine,
+        "verdict": {
+            "covered": bool(verdict.covered),
+            "complete": bool(verdict.complete),
+            "bound": verdict.bound,
+            "witness": encode_trace(verdict.witness),
+        },
+        "expected_covered": entry.expected_covered,
+        "winner": verdict.winner,
+        "features": verdict.features,
+        "sched": verdict.sched,
+        "cache": delta(),
+        "timings": phases.timings(),
+        "elapsed_seconds": round(verdict.elapsed_seconds, 6),
+    }
+
+
+def _run_analyze(request: JobRequest, defaults: ServiceDefaults) -> Dict[str, object]:
+    from ..core import CoverageOptions, analyze_problem, format_report
+    from ..designs import get_design
+    from ..obs import PhaseAggregator
+
+    entry = get_design(request.design)
+    problem = entry.builder()
+    options = CoverageOptions(
+        engine=request.engine,
+        bmc_max_bound=request.bound,
+        slicing=request.slicing,
+        max_witnesses=request.max_witnesses,
+        unfold_depth=request.depth,
+        sched_model=defaults.sched_model,
+    )
+    delta = _cache_delta_scope()
+    with _backend_scope(request.prop_backend):
+        with PhaseAggregator() as phases:
+            report = analyze_problem(problem, options)
+    gaps = [analysis.describe() for analysis in report.analyses if not analysis.covered]
+    return {
+        "job": "analyze",
+        "design": request.design,
+        "engine": request.engine,
+        "covered": bool(report.covered),
+        "gap_count": len(gaps),
+        "gaps": gaps,
+        "report": format_report(report, show_witnesses=request.witnesses),
+        "cache": delta(),
+        "timings": phases.timings(),
+        "elapsed_seconds": round(
+            report.primary_seconds + report.tm_seconds + report.gap_seconds, 6
+        ),
+    }
+
+
+def _run_suite(request: JobRequest, defaults: ServiceDefaults) -> Dict[str, object]:
+    from ..runner import expand_jobs, run_suite
+    from ..runner.report import suite_to_dict
+
+    jobs = expand_jobs(
+        list(request.designs) if request.designs is not None else None,
+        engine=request.engine,
+        prop_backend=request.prop_backend,
+        bound=request.bound,
+        slicing=request.slicing,
+        include_signals=request.include_signals,
+        random_count=request.random,
+        random_seed=request.seed,
+        sched_model=defaults.sched_model,
+    )
+    workers = min(request.workers, defaults.max_suite_workers)
+    result = run_suite(
+        jobs,
+        workers=workers,
+        cache_dir=defaults.cache_dir,
+        use_cache=True,
+        shard_timeout=request.shard_timeout,
+    )
+    payload = suite_to_dict(result)
+    payload["job"] = "suite"
+    return payload

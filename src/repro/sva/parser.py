@@ -24,7 +24,7 @@ operator, and as a sub-property otherwise.
 from __future__ import annotations
 
 import re
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from ..ltl.ast import FALSE, TRUE, Formula, Not, atom, conj, disj
 from .properties import (
@@ -34,7 +34,7 @@ from .properties import (
     non_overlapping_implication,
     s_eventually,
 )
-from .sequences import Sequence, SVAError, seq, union
+from .sequences import Sequence, SVAError, seq
 
 __all__ = ["parse_sva"]
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Union
 
-from ..ltl.ast import Formula, G, F, Not, atom, conj, disj, is_boolean
+from ..ltl.ast import Formula, G, F, Not, atom, conj, disj
 from .sequences import Sequence, SVAError
 
 __all__ = [

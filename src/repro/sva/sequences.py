@@ -17,7 +17,7 @@ objects restricted to boolean connectives, so anything the LTL layer offers
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence as Seq, Tuple, Union
+from typing import List, Tuple, Union
 
 from ..ltl.ast import Formula, TRUE, Xn, atom, conj, disj, is_boolean
 

@@ -3,15 +3,9 @@ the BMC form of the primary coverage question, and k-induction."""
 
 import pytest
 
-from repro.designs.mal import (
-    build_cache_logic,
-    build_full_mal_fig2,
-    build_mal,
-    build_mal_with_gap,
-    build_paper_example,
-)
+from repro.designs.mal import build_cache_logic, build_mal, build_mal_with_gap, build_paper_example
 from repro.designs.simple_latch import build_simple_latch
-from repro.logic.boolexpr import implies, not_, or_, var
+from repro.logic.boolexpr import implies, not_, var
 from repro.ltl.parser import parse
 from repro.ltl.traces import evaluate
 from repro.mc.modelcheck import check, find_run

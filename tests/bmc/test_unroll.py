@@ -3,9 +3,9 @@
 import pytest
 
 from repro.designs.simple_latch import build_simple_latch
-from repro.logic.boolexpr import and_, not_, var
+from repro.logic.boolexpr import and_, var
 from repro.rtl.netlist import Module
-from repro.sat.solver import SatSolver, solve
+from repro.sat.solver import solve
 from repro.bmc.unroll import UnrolledModule, frame_name
 
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import (
-    CoverageOptions,
     analyze_problem,
     apply_weakening,
     atom_instance_table,
@@ -18,7 +17,7 @@ from repro.core import (
     uncovered_terms,
 )
 from repro.core.push import WeakeningSuggestion
-from repro.designs import build_amba_problem, build_mal_with_gap, expected_gap_property
+from repro.designs import expected_gap_property
 from repro.ltl import TemporalTerm, equivalent, evaluate, implies, parse
 
 

@@ -11,15 +11,7 @@ from repro.core import (
     is_covered_with,
     primary_coverage_check,
 )
-from repro.designs import (
-    build_cache_logic,
-    build_mal,
-    build_mal_with_gap,
-    build_masking_glue_fig2,
-    build_simple_latch,
-    expected_gap_property,
-    expected_tm_shape,
-)
+from repro.designs import build_cache_logic, build_masking_glue_fig2, expected_gap_property, expected_tm_shape
 from repro.logic.boolexpr import and_, not_, or_, var
 from repro.ltl import equivalent, evaluate, parse
 from repro.mc import check

@@ -1,10 +1,8 @@
 """Model-relative checks of the paper's Theorems 1 and 2 on the built-in designs."""
 
-import pytest
 
-from repro.core import coverage_hole, hole_closes_gap, is_covered_with, primary_coverage_check
-from repro.designs import build_mal, build_mal_with_gap, build_pipeline_problem
-from repro.ltl import Not, conj, evaluate, implies, parse
+from repro.core import coverage_hole, hole_closes_gap, primary_coverage_check
+from repro.ltl import evaluate, implies
 
 
 class TestTheorem1:

@@ -8,7 +8,6 @@ from repro.designs import (
     architectural_granted_master1,
     architectural_granted_master2,
     amba_rtl_properties,
-    build_amba_problem,
     build_arbiter,
     build_cache_logic,
     build_full_mal_fig2,
@@ -27,7 +26,7 @@ from repro.designs import (
     table1_designs,
 )
 from repro.ltl import evaluate, parse
-from repro.mc import check, find_run
+from repro.mc import check
 from repro.rtl import Stimulus, simulate
 
 

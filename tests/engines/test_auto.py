@@ -9,13 +9,7 @@ from repro.designs import get_design, random_design_entries
 from repro.engines import AutoEngine, get_engine
 from repro.obs import Metrics, set_metrics
 from repro.runner.cache import ResultCache, using_result_cache
-from repro.sched import (
-    SchedModel,
-    SchedRule,
-    TrainingRow,
-    save_model,
-    train_predictor,
-)
+from repro.sched import SchedModel, TrainingRow, save_model, train_predictor
 
 _BMC_BOUND = 6
 _DESIGNS = ["mal_fig2", "mal_fig4", "paper_example", "telemetry_bank"]

@@ -21,7 +21,6 @@ from repro.logic.boolexpr import (
     and_,
     const,
     expr_equivalent,
-    iff,
     implies,
     intern_stats,
     is_contradiction,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.logic import BDDError, BDDManager
-from repro.logic.boolexpr import and_, iff, not_, or_, var, xor
+from repro.logic.boolexpr import and_, not_, or_, var
 from repro.logic.cube import Cube
 
 

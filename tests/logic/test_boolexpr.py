@@ -6,7 +6,6 @@ from repro.logic import (
     FALSE,
     TRUE,
     and_,
-    const,
     expr_equivalent,
     iff,
     implies,
@@ -15,18 +14,7 @@ from repro.logic import (
     minterms,
     mux,
 )
-from repro.logic.boolexpr import (
-    AndExpr,
-    NotExpr,
-    OrExpr,
-    Var,
-    all_assignments,
-    not_,
-    or_,
-    truth_table,
-    var,
-    xor,
-)
+from repro.logic.boolexpr import AndExpr, all_assignments, not_, or_, truth_table, var, xor
 
 
 class TestConstruction:

@@ -1,6 +1,5 @@
 """Unit tests for cubes, covers and the Quine-McCluskey minimiser."""
 
-import pytest
 
 from repro.logic import Cover, Cube, cover_from_expr, expr_equivalent, minimize_cover
 from repro.logic.boolexpr import and_, not_, or_, var

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.ltl import evaluate, parse
+from repro.ltl import parse
 from repro.ltl.monitor import is_monitorable, monitor_or_tableau, safety_monitor_gba
 from repro.ltl.product import gba_product
 from repro.ltl.tableau import ltl_to_gba

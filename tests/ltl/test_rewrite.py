@@ -4,9 +4,7 @@ import pytest
 
 from repro.ltl import (
     Atom,
-    FALSE,
     Not,
-    TRUE,
     atom_instances,
     atoms_of,
     conjuncts,
@@ -20,7 +18,7 @@ from repro.ltl import (
     substitute_atoms,
     temporal_depth,
 )
-from repro.ltl.ast import Always, And, Eventually, Next, Or, Release, Until
+from repro.ltl.ast import Always, Eventually, Release
 from repro.ltl.rewrite import remove_derived_operators
 
 

@@ -7,7 +7,6 @@ from repro.ltl import (
     TemporalTerm,
     bounded_terms,
     equivalent,
-    evaluate,
     expand_once,
     parse,
     term_from_states,
@@ -15,7 +14,6 @@ from repro.ltl import (
     unfold,
     xnf,
 )
-from repro.logic import Cube
 
 
 class TestExpansion:

@@ -2,11 +2,10 @@
 
 import pytest
 
-from repro.logic.boolexpr import and_, not_, or_, var
 from repro.ltl import evaluate, parse
 from repro.mc import ProductStatistics, check, find_run, kripke_automata_product, build_kripke
 from repro.ltl.monitor import monitor_or_tableau
-from repro.rtl import Module, kripke_from_module
+from repro.rtl import kripke_from_module
 from repro.designs import build_cache_logic, build_simple_latch
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.ltl.ast import FALSE, Always, Atom, Eventually, G, Next, Not, X, atom
+from repro.ltl.ast import FALSE, Always, Eventually, G, Next, Not, X, atom
 from repro.ltl.traces import evaluate
 from repro.mc.modelcheck import find_run
 from repro.mc.symbolic import (

@@ -1,18 +1,11 @@
 """Unit tests of the compiled CoverageProblem IR (repro.problem)."""
 
-import pytest
 
 from repro.designs import build_mal_with_gap, build_telemetry_bank
 from repro.ltl.ast import Not, atom_support
 from repro.ltl.parser import parse
 from repro.logic.boolexpr import and_, not_, var
-from repro.problem import (
-    CompiledProblem,
-    clear_compile_caches,
-    compile_cache_stats,
-    compile_problem,
-    compiled_automata,
-)
+from repro.problem import clear_compile_caches, compile_cache_stats, compile_problem, compiled_automata
 from repro.rtl.netlist import Module
 
 

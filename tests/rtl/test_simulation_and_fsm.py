@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.logic.boolexpr import all_assignments, and_, not_, or_, var
+from repro.logic.boolexpr import not_, var
 from repro.rtl import (
     Module,
     NetlistError,

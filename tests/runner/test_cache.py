@@ -7,7 +7,6 @@ import os
 import subprocess
 import sys
 
-import pytest
 
 from repro.designs import build_mal, build_simple_latch
 from repro.engines import get_engine

@@ -5,9 +5,9 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.logic.boolexpr import and_, const, iff, implies, mux, not_, or_, var, xor
-from repro.sat.cnf import CNF, CNFError
+from repro.sat.cnf import CNFError
 from repro.sat.dimacs import from_dimacs, to_dimacs
-from repro.sat.solver import solve, solve_brute_force
+from repro.sat.solver import solve
 from repro.sat.tseitin import TseitinEncoder, encode_circuit, encode_constraint
 
 a, b, c, d = var("a"), var("b"), var("c"), var("d")
@@ -33,7 +33,6 @@ def _models_of_expr(expr, names):
 def _models_of_cnf(cnf, names):
     """Satisfying assignments of a CNF projected onto the named variables."""
     models = set()
-    seen = set()
     # Enumerate by brute force over *all* CNF variables, project onto names.
     variables = list(range(1, cnf.variable_count() + 1))
     import itertools

@@ -1,0 +1,31 @@
+"""Service-test fixtures: register the sleepy engine for tests in this dir.
+
+The plugin is loaded by file path — the same mechanism ``specmatcher serve
+--preload`` uses — so these tests never depend on ``tests/`` being
+importable as a package.  Registration happens in an autouse fixture (not at
+conftest import time, which runs during collection) and is undone on
+teardown, so the process-global engine registry stays pristine for every
+other test directory.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+SLEEPY_PLUGIN = Path(__file__).with_name("sleepy_plugin.py")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def sleepy_engine():
+    spec = importlib.util.spec_from_file_location(
+        "specmatcher_sleepy_plugin", SLEEPY_PLUGIN
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    yield
+    from repro.engines import unregister_engine
+
+    unregister_engine("sleepy")

@@ -1,0 +1,39 @@
+"""A deliberately slow coverage engine for service lifecycle tests.
+
+Loaded via ``specmatcher serve --preload`` (or plain ``import``) to register
+a ``sleepy`` engine that holds a job in flight for a configurable duration
+while cooperatively polling the cancellation token — the knob the drain,
+timeout and SIGTERM tests turn.  Duration comes from the
+``SPECMATCHER_SLEEPY_SECONDS`` environment variable (default 2.0).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.engines.cancel import check_cancelled
+from repro.engines.coverage import CoverageEngine, EngineVerdict, register_engine
+
+
+class SleepyEngine(CoverageEngine):
+    name = "sleepy"
+    complete = True
+
+    def check_primary(self, problem, architectural=None) -> EngineVerdict:
+        seconds = float(os.environ.get("SPECMATCHER_SLEEPY_SECONDS", "2.0"))
+        started = time.monotonic()
+        deadline = started + seconds
+        while time.monotonic() < deadline:
+            check_cancelled()
+            time.sleep(0.01)
+        return EngineVerdict(
+            problem_name=problem.name,
+            engine=self.name,
+            covered=True,
+            complete=True,
+            elapsed_seconds=time.monotonic() - started,
+        )
+
+
+register_engine("sleepy", SleepyEngine)

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.ltl.ast import atom
 from repro.ltl.parser import parse
 from repro.ltl.sat import equivalent
 from repro.sva.parser import parse_sva

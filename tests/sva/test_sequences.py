@@ -6,7 +6,7 @@ from repro.ltl.ast import atom
 from repro.ltl.parser import parse
 from repro.ltl.sat import equivalent
 from repro.ltl.traces import LassoTrace, evaluate
-from repro.sva.sequences import SVAError, Sequence, concat, delay, first_match_length, repeat, seq, union
+from repro.sva.sequences import SVAError, concat, delay, first_match_length, repeat, seq, union
 
 a, b, c = atom("a"), atom("b"), atom("c")
 

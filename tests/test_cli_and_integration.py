@@ -5,7 +5,7 @@ import pytest
 from repro.cli import build_parser, main
 from repro.core import CoverageOptions, SpecMatcher
 from repro.designs import build_cache_logic, build_masking_glue_fig4
-from repro.ltl import implies, parse
+from repro.ltl import implies
 
 
 class TestCLI:
