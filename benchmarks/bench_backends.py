@@ -255,6 +255,17 @@ def run_engine_trajectory(designs=None, *, bound: int = _BMC_BOUND) -> dict:
             assert verdicts_by_mode["sliced"] == verdicts_by_mode["unsliced"], (
                 f"slicing changed a verdict on {name}/{engine_name}: {verdicts_by_mode}"
             )
+            # Second timing sweep in *reverse* mode order, keeping the
+            # per-mode minimum: one pass per mode was measured swinging
+            # 10-15% between reps on a shared runner (the threaded portfolio
+            # cells swing 3x), which is enough to breach the 0.95x floor
+            # below on pure noise.  The min of two passes in opposite orders
+            # also cancels any residual warm-up bias.
+            for mode, slicing in (("unsliced", False), ("sliced", "auto")):
+                _, _, _, seconds, _, _ = run_mode(slicing)
+                cell[f"seconds_{mode}"] = round(
+                    min(cell[f"seconds_{mode}"], seconds), 4
+                )
 
             def speedup():
                 return round(
@@ -297,6 +308,53 @@ def run_engine_trajectory(designs=None, *, bound: int = _BMC_BOUND) -> dict:
         # swinging 2x between reps), while the per-design total alternates
         # the two modes four times and averages the drift out.  Sub-0.2s
         # totals are exempt as pure noise.
+        # The per-cell retry above only fires when a *single* cell regresses
+        # past the floor; several cells drifting to ~0.95x at once (the
+        # portfolio's threaded cells are especially jittery) can still sum
+        # below it.  Re-time the worst measurable cell — both modes, reverse
+        # order, keeping the per-mode minimum — until the design clears the
+        # floor or the budget runs out, so a genuine regression still fails
+        # after five clean measurements of its slowest cell.
+        design_retries = 3
+        while design_retries > 0:
+            total_sliced = sum(cell["seconds_sliced"] for cell in row.values())
+            total_unsliced = sum(cell["seconds_unsliced"] for cell in row.values())
+            if total_unsliced < 0.2 or total_unsliced / max(total_sliced, 1e-9) >= 0.95:
+                break
+            design_retries -= 1
+            worst = min(
+                (
+                    engine_name
+                    for engine_name, cell in row.items()
+                    if cell["seconds_unsliced"] >= 0.05
+                ),
+                key=lambda engine_name: (
+                    row[engine_name]["seconds_unsliced"]
+                    / max(row[engine_name]["seconds_sliced"], 1e-9)
+                ),
+                default=None,
+            )
+            if worst is None:
+                break
+            worst_cell = row[worst]
+            _, _, _, again_unsliced, _, _ = _timed_pass(
+                get_engine(worst, max_bound=bound, slicing=False), problem
+            )
+            _, _, _, again_sliced, _, _ = _timed_pass(
+                get_engine(worst, max_bound=bound, slicing="auto"), problem
+            )
+            worst_cell["seconds_unsliced"] = round(
+                min(worst_cell["seconds_unsliced"], again_unsliced), 4
+            )
+            worst_cell["seconds_sliced"] = round(
+                min(worst_cell["seconds_sliced"], again_sliced), 4
+            )
+            worst_cell["seconds"] = worst_cell["seconds_sliced"]
+            worst_cell["slicing_speedup"] = round(
+                worst_cell["seconds_unsliced"]
+                / max(worst_cell["seconds_sliced"], 1e-9),
+                2,
+            )
         total_sliced = sum(cell["seconds_sliced"] for cell in row.values())
         total_unsliced = sum(cell["seconds_unsliced"] for cell in row.values())
         design_speedup = round(total_unsliced / max(total_sliced, 1e-9), 2)

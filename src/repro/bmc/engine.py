@@ -23,10 +23,11 @@ from ..obs import metrics, span
 from ..rtl.netlist import Module
 from ..sat.solver import SatSolver
 from ..sat.tseitin import TseitinEncoder
+from .incremental import BMCSession
 from .ltl_bmc import LTLBoundedEncoder
 from .unroll import UnrolledModule
 
-__all__ = ["BMCResult", "BMCStatistics", "find_run_bmc", "check_bmc"]
+__all__ = ["BMCResult", "BMCStatistics", "bmc_free_atoms", "find_run_bmc", "check_bmc"]
 
 
 @dataclass
@@ -44,6 +45,15 @@ class BMCStatistics:
     #: Wall seconds spent at each explored bound, indexed from ``min_bound``
     #: — the per-bound cost curve a learned bound scheduler needs.
     per_bound_seconds: List[float] = field(default_factory=list)
+    #: SAT queries answered by a solver that was already warm (had clauses or
+    #: learned facts from an earlier query) instead of a fresh instance.
+    solver_reused: int = 0
+    #: Total clauses already attached to the solver when a query began — the
+    #: encoding work incremental solving avoided repeating.
+    clauses_reused: int = 0
+    #: Bounds explored by extending an existing unrolling in place (frames
+    #: ``0 .. k-1`` not re-encoded).
+    bounds_incremental: int = 0
 
     def merge_solver(
         self, conflicts: int, decisions: int,
@@ -92,6 +102,23 @@ def _free_atoms(module: Module, formulas: Sequence[Formula]) -> List[str]:
     return names
 
 
+def bmc_free_atoms(
+    module: Module, formulas: Sequence[Formula], extra_free: Sequence[str] = ()
+) -> List[str]:
+    """The full free-signal list a BMC query leaves unconstrained.
+
+    Exposed so callers that pool :class:`~repro.bmc.incremental.BMCSession`
+    objects (the BMC engine) can construct sessions with exactly the list
+    :func:`find_run_bmc` will derive.
+    """
+    free_atoms = _free_atoms(module, formulas)
+    driven = set(module.assigns) | set(module.registers)
+    for name in extra_free:
+        if name not in driven and name not in free_atoms:
+            free_atoms.append(name)
+    return free_atoms
+
+
 def find_run_bmc(
     module: Module,
     formulas: Sequence[Formula],
@@ -100,6 +127,8 @@ def find_run_bmc(
     min_bound: int = 0,
     use_result_cache: bool = True,
     extra_free: Sequence[str] = (),
+    incremental: bool = True,
+    session: Optional[BMCSession] = None,
 ) -> BMCResult:
     """Search for a lasso run of ``module`` satisfying every formula.
 
@@ -109,6 +138,15 @@ def find_run_bmc(
     ``extra_free`` names additional environment signals (e.g. the observed
     free signals of a :class:`~repro.problem.CompiledProblem`) to leave
     unconstrained — and decoded into witness states — in every frame.
+
+    By default the search is *incremental*: one persistent solver accumulates
+    the monotone unrolling across bounds, with per-``(k, l)`` loop closures
+    and LTL obligations switched on through assumptions (see
+    :class:`~repro.bmc.incremental.BMCSession`).  Passing an existing
+    ``session`` (the BMC engine pools them per slice) extends reuse across
+    calls — across spec conjuncts sharing the slice.  ``incremental=False``
+    selects the legacy fresh-solver-per-query search, kept as the
+    differential-testing reference; both paths are verdict-identical.
 
     When a result cache is active (:mod:`repro.runner.cache`), the unrolled
     query — module structure + formulas + bound window — is fingerprinted and
@@ -120,11 +158,7 @@ def find_run_bmc(
     """
     from ..runner.cache import active_result_cache
 
-    free_atoms = _free_atoms(module, formulas)
-    driven = set(module.assigns) | set(module.registers)
-    for name in extra_free:
-        if name not in driven and name not in free_atoms:
-            free_atoms.append(name)
+    free_atoms = bmc_free_atoms(module, formulas, extra_free)
 
     cache = active_result_cache() if use_result_cache else None
     cache_key = None
@@ -153,14 +187,29 @@ def find_run_bmc(
 
     start = time.perf_counter()
     statistics = BMCStatistics()
-    unrolled = UnrolledModule(module, free_atoms=free_atoms)
-    unrolled.assert_initial_state()
+    unrolled: Optional[UnrolledModule] = None
+    if incremental:
+        if session is not None and not session.compatible_with(module, free_atoms):
+            session = None
+        if session is None:
+            session = BMCSession(module, free_atoms)
+    else:
+        session = None
+        unrolled = UnrolledModule(module, free_atoms=free_atoms)
+        unrolled.assert_initial_state()
 
     for bound in range(min_bound, max_bound + 1):
         bound_start = time.perf_counter()
         with span("bmc_bound", bound=bound) as sp:
-            witness_info = _search_bound(unrolled, formulas, bound, statistics)
-            sp.set(sat_calls=statistics.sat_calls)
+            if session is not None:
+                if session.queries > 0:
+                    statistics.bounds_incremental += 1
+                witness_info = _search_bound_incremental(
+                    session, formulas, bound, statistics
+                )
+            else:
+                witness_info = _search_bound(unrolled, formulas, bound, statistics)
+            sp.set(sat_calls=statistics.sat_calls, clauses_reused=statistics.clauses_reused)
         bound_seconds = time.perf_counter() - bound_start
         statistics.per_bound_seconds.append(round(bound_seconds, 6))
         metrics().observe("bmc.bound_seconds", bound_seconds)
@@ -183,6 +232,41 @@ def find_run_bmc(
         cache_key,
         BMCResult(False, max_bound, None, None, statistics, time.perf_counter() - start),
     )
+
+
+def _search_bound_incremental(
+    session: BMCSession,
+    formulas: Sequence[Formula],
+    bound: int,
+    statistics: BMCStatistics,
+) -> Optional[tuple]:
+    """Try every loop position at one bound on the persistent session."""
+    from ..engines.cancel import check_cancelled
+
+    session.unrolled.extend_to(bound)
+    statistics.max_bound_reached = bound
+    for loop_start in range(bound + 1):
+        check_cancelled()
+        warm = session.queries > 0
+        result, reused = session.query(formulas, bound, loop_start)
+        statistics.sat_calls += 1
+        if warm:
+            statistics.solver_reused += 1
+            statistics.clauses_reused += reused
+        statistics.clauses = max(statistics.clauses, session.unrolled.cnf.clause_count())
+        statistics.variables = max(
+            statistics.variables, session.unrolled.cnf.variable_count()
+        )
+        statistics.merge_solver(
+            result.conflicts,
+            result.decisions,
+            result.propagations,
+            result.restarts,
+        )
+        if result.satisfiable:
+            states = session.decode_witness(result, bound)
+            return loop_start, LassoTrace.from_states(states, loop_start)
+    return None
 
 
 def _search_bound(
@@ -223,6 +307,9 @@ def _store_bmc(cache, cache_key, result: BMCResult) -> BMCResult:
     """Record a freshly decided BMC search in the active cache (if any)."""
     metrics().inc("bmc.runs")
     metrics().inc("bmc.sat_calls", result.statistics.sat_calls)
+    metrics().inc("bmc.solver_reused", result.statistics.solver_reused)
+    metrics().inc("bmc.clauses_reused", result.statistics.clauses_reused)
+    metrics().inc("bmc.bounds_incremental", result.statistics.bounds_incremental)
     if cache is not None and cache_key is not None:
         from ..runner.cache import encode_run_result
 

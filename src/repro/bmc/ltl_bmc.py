@@ -5,10 +5,14 @@ the truth of an LTL formula at frame 0 is a purely propositional function of
 the signal values at frames ``0 .. k``: the path visits only those positions,
 in the order ``i, i+1, ..., k, l, l+1, ...``.
 
-For every temporal subformula and every frame we introduce one auxiliary
-variable and define it by folding the operator's expansion law along the
-*visit order* of that frame — each reachable frame appears exactly once, so
-the folds below are exact on the lasso (not approximations):
+Every temporal subformula is translated by folding the operator's expansion
+law along the *visit order* of its frame — each reachable frame appears
+exactly once, so the folds below are exact on the lasso (not
+approximations).  The fold result is a plain (hash-consed) boolean
+expression; gate variables are introduced by the shared Tseitin encoder,
+which memoises structurally, so identical folds across queries — different
+loop positions, different spec conjuncts on one incremental unrolling —
+share one set of clauses:
 
 * ``p U q`` at ``i``  =  ``q_i  ∨ (p_i ∧ [p U q] at next)`` … base ``false``
 * ``p R q`` at ``i``  =  ``q_i ∧ (p_i ∨ [p R q] at next)`` … base ``true``
@@ -70,13 +74,22 @@ class LTLBoundedEncoder:
         self.depth = depth
         self.loop_start = loop_start
         self._memo: Dict[Tuple[int, int], BoolExpr] = {}
-        self._aux_count = 0
 
     # -- public API ---------------------------------------------------------------
     def assert_formula(self, formula: Formula, *, position: int = 0) -> Literal:
         """Constrain the lasso to satisfy ``formula`` at ``position``."""
         expression = self.encode(formula, position)
         return self.encoder.assert_expr(expression)
+
+    def formula_literal(self, formula: Formula, *, position: int = 0) -> Literal:
+        """Literal equivalent to ``formula`` at ``position`` (not asserted).
+
+        The Tseitin gates are full biconditionals, so the returned literal can
+        be passed as a solver *assumption*: assuming it forces the formula,
+        and any lasso satisfying the formula admits a model setting it true.
+        """
+        expression = self.encode(formula, position)
+        return self.encoder.literal_for(expression)
 
     def encode(self, formula: Formula, position: int = 0) -> BoolExpr:
         """Propositional expression equivalent to ``formula`` at ``position``."""
@@ -99,14 +112,6 @@ class LTLBoundedEncoder:
 
     def _successor(self, position: int) -> int:
         return self.loop_start if position == self.depth else position + 1
-
-    def _fresh_aux(self, defining: BoolExpr) -> BoolExpr:
-        """Introduce an auxiliary variable equal to ``defining``."""
-        self._aux_count += 1
-        name = f"_ltl_k{self.depth}_l{self.loop_start}_n{self._aux_count}"
-        auxiliary = var(name)
-        self.encoder.assert_equal(auxiliary, defining)
-        return auxiliary
 
     def _fold(self, formula: Formula, position: int, *, kind: str) -> BoolExpr:
         """Right-fold a temporal operator along the visit order of ``position``."""
@@ -136,7 +141,13 @@ class LTLBoundedEncoder:
                 )
             else:  # "and_or_globally": G p
                 accumulator = and_(self.encode(right, frame), accumulator)
-        return self._fresh_aux(accumulator)
+        # No named auxiliary is introduced here: the Tseitin encoder already
+        # assigns one gate variable per (hash-consed) sub-expression, so two
+        # queries whose folds coincide — e.g. ``G p`` at position 0, which is
+        # the same chain for every loop position of a bound — share clauses
+        # instead of re-encoding.  That sharing is what keeps incremental BMC
+        # cheap across the ``(k, l)`` sweep.
+        return accumulator
 
     # -- dispatch -------------------------------------------------------------------
     def _encode(self, formula: Formula, position: int) -> BoolExpr:

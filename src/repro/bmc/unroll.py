@@ -125,11 +125,38 @@ class UnrolledModule:
             cnf.add_clause(-next_literal, target)
             cnf.add_clause(next_literal, -target)
 
+    def guarded_loop_constraint(self, bound: int, loop_start: int, activation: Literal) -> None:
+        """Close the ``(bound, loop_start)`` lasso *conditionally* on a literal.
+
+        Unlike :meth:`loop_constraint` the biconditional clauses go into the
+        shared CNF itself, each weakened with ``¬activation`` — inert unless
+        the activation literal is assumed.  This is the incremental-BMC
+        discipline: every ``(k, l)`` pair gets one activation literal, the
+        frames are never re-encoded, and one solver serves every query.
+        """
+        if not 0 <= loop_start <= bound <= self.depth:
+            raise ValueError("loop window must lie within the unrolled frames")
+        rename = self.rename(bound)
+        for name, register in self.module.registers.items():
+            next_literal = self.encoder.literal_for(register.next_value, rename=rename)
+            target = self.signal_literal(name, loop_start)
+            self.cnf.add_clause(-activation, -next_literal, target)
+            self.cnf.add_clause(-activation, next_literal, -target)
+
     # -- model decoding --------------------------------------------------------------
-    def decode_states(self, assignment: Mapping[str, bool]) -> List[Dict[str, bool]]:
-        """Extract the per-frame signal valuations from a SAT model."""
+    def decode_states(
+        self, assignment: Mapping[str, bool], *, up_to: Optional[int] = None
+    ) -> List[Dict[str, bool]]:
+        """Extract the per-frame signal valuations from a SAT model.
+
+        ``up_to`` limits decoding to frames ``0 .. up_to`` — needed when the
+        shared unrolling has been extended beyond the bound that produced the
+        model (incremental solving), where the deeper frames are unconstrained
+        by the witness's lasso.
+        """
+        last = self.depth if up_to is None else up_to
         states: List[Dict[str, bool]] = []
-        for frame in range(self.depth + 1):
+        for frame in range(last + 1):
             state = {
                 name: bool(assignment.get(frame_name(name, frame), False))
                 for name in self.trace_signals

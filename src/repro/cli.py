@@ -15,6 +15,10 @@ Sub-commands
 ``specmatcher suite``
     Run the sharded coverage suite over the catalog (and random designs) on a
     worker pool with a persistent result cache; report as text/JSON/markdown.
+``specmatcher bench``
+    Run the quick engine-trajectory benchmark in-process; ``--output`` writes
+    the JSON payload, ``--compare BASELINE`` applies the CI lane's per-cell
+    regression gate (exit 1 on regression).
 ``specmatcher cache``
     Inspect (``stats``) or wipe (``clear``) the persistent result cache.
 ``specmatcher sched``
@@ -135,6 +139,14 @@ def build_parser() -> argparse.ArgumentParser:
                 "(every query then runs on the full module)"
             ),
         )
+        sub_parser.add_argument(
+            "--bdd-reorder",
+            action="store_true",
+            help=(
+                "enable dynamic BDD variable reordering (greedy sifting) in "
+                "the symbolic engine; ignored by the other engines"
+            ),
+        )
 
     sub.add_parser("list", parents=[common], help="list the built-in designs")
 
@@ -234,6 +246,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", metavar="FILE", help="write the report to FILE instead of stdout"
     )
     add_backend_flags(suite_parser)
+
+    bench_parser = sub.add_parser(
+        "bench",
+        parents=[common],
+        help="run the quick engine benchmark, optionally diffing a baseline",
+    )
+    bench_parser.add_argument(
+        "--designs", nargs="+", metavar="NAME",
+        help="designs to benchmark (default: the quick catalog set)",
+    )
+    bench_parser.add_argument(
+        "--bound", type=_non_negative_int, default=6,
+        help="BMC bound for the bmc cells (default: %(default)s)",
+    )
+    bench_parser.add_argument(
+        "--output", metavar="FILE", help="write the JSON trajectory to FILE"
+    )
+    bench_parser.add_argument(
+        "--compare", metavar="BASELINE",
+        help=(
+            "diff the run against a baseline trajectory (e.g. the committed "
+            "BENCH_engines.json); exit 1 on any cell regression"
+        ),
+    )
+    bench_parser.add_argument(
+        "--max-ratio", type=float, default=None, metavar="X",
+        help="with --compare: fail cells more than X times slower (default 1.25)",
+    )
 
     cache_parser = sub.add_parser(
         "cache", parents=[common], help="inspect or clear the persistent result cache"
@@ -481,6 +521,7 @@ def _options_from_args(args: argparse.Namespace, **overrides) -> CoverageOptions
         bmc_max_bound=args.bound,
         slicing=_slicing_from_args(args),
         sched_model=getattr(args, "sched_model", None),
+        bdd_reorder=getattr(args, "bdd_reorder", False),
         **overrides,
     )
 
@@ -544,6 +585,7 @@ def _cmd_check(design: str, args: argparse.Namespace) -> int:
         max_bound=args.bound,
         slicing=_slicing_from_args(args),
         model_path=args.sched_model,
+        bdd_reorder=getattr(args, "bdd_reorder", False),
     )
     with using_prop_backend(args.prop_backend):
         verdict = engine.check_primary(problem)
@@ -644,6 +686,56 @@ def _cmd_suite(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
         return 1
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run the quick engine-trajectory benchmark in-process.
+
+    Reuses ``benchmarks/bench_backends.py`` (loaded by path — the benchmarks
+    directory is not a package) so the CLI, the CI lane and a by-hand run all
+    measure exactly the same thing; ``--compare`` then applies the same
+    per-cell gate as the CI benchmark lane via :mod:`repro.benchcmp`.
+    """
+    import importlib.util
+    import json
+    from pathlib import Path
+
+    script = Path(__file__).resolve().parents[2] / "benchmarks" / "bench_backends.py"
+    if not script.is_file():
+        print(
+            f"error: benchmark script not found at {script} "
+            "(specmatcher bench needs a source checkout)",
+            file=sys.stderr,
+        )
+        return 2
+    spec = importlib.util.spec_from_file_location("_specmatcher_bench", script)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+
+    payload = module.run_engine_trajectory(args.designs, bound=args.bound)
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"engine trajectory written to {args.output}")
+    for name, row in payload["designs"].items():
+        cells = "  ".join(
+            f"{engine}={cell['seconds']:.3f}s" for engine, cell in sorted(row.items())
+        )
+        print(f"  {name:<16} {cells}")
+
+    if args.compare:
+        from .benchcmp import compare_trajectories, load_trajectory
+
+        kwargs = {}
+        if args.max_ratio is not None:
+            kwargs["max_ratio"] = args.max_ratio
+        comparison = compare_trajectories(
+            payload, load_trajectory(args.compare), **kwargs
+        )
+        print(comparison.summary())
+        return 0 if comparison.ok else 1
     return 0
 
 
@@ -939,6 +1031,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_table1(args)
         if args.command == "suite":
             return _cmd_suite(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
         if args.command == "cache":
             return _cmd_cache(args)
         if args.command == "sched":

@@ -98,6 +98,11 @@ class CoverageOptions:
     #: the ``auto`` engine; ``None`` makes ``auto`` race without a model.
     #: Other engines ignore it.
     sched_model: Optional[str] = None
+    #: Dynamic BDD variable reordering (greedy sifting) in the symbolic
+    #: engine, triggered on node-table growth during the fixpoints.  Off by
+    #: default: the interleaved current/next order is already good for most
+    #: designs.  Other engines ignore it.
+    bdd_reorder: bool = False
 
 
 @dataclass

@@ -22,6 +22,7 @@ an engine by name.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
@@ -312,30 +313,74 @@ class ExplicitEngine(CoverageEngine):
 
 
 class BmcEngine(CoverageEngine):
-    """Bounded model checking engine (complete for refutation only)."""
+    """Bounded model checking engine (complete for refutation only).
+
+    The engine pools incremental :class:`~repro.bmc.incremental.BMCSession`
+    objects per (slice structure, free signals): spec conjuncts that share a
+    slice — the common case, since a coverage query asks many conjuncts about
+    one cone of influence — reuse one persistent solver, its accumulated
+    unrolling, and its learned clauses.  Sessions are checked out exclusively
+    (popped under a lock) so concurrent queries on one engine instance are
+    safe; a concurrent query simply starts a fresh session.
+    """
 
     name = "bmc"
     complete = False
 
-    def __init__(self, *, max_bound: int = 12, slicing="auto"):
+    #: Upper bound on pooled sessions per engine instance; oldest evicted.
+    _SESSION_POOL_LIMIT = 8
+
+    def __init__(self, *, max_bound: int = 12, slicing="auto", incremental: bool = True):
         super().__init__(slicing=slicing, max_bound=max_bound)
+        self.incremental = incremental
+        self._sessions: Dict[tuple, object] = {}
+        self._session_lock = threading.Lock()
 
     def _cache_bound(self) -> Optional[int]:
         return self.max_bound
 
     def _find_run(self, problem: "CompiledProblem"):
-        from ..bmc.engine import find_run_bmc
+        from ..bmc.engine import bmc_free_atoms, find_run_bmc
+        from ..runner.cache import module_fingerprint
 
         # The engine-level wrapper already caches this query under its own
         # key; disable the raw-search layer so each decision is fingerprinted
         # and persisted once.
-        return find_run_bmc(
-            problem.module,
-            problem.formulas,
-            max_bound=self.max_bound,
-            use_result_cache=False,
-            extra_free=problem.free_signals,
+        if not self.incremental:
+            return find_run_bmc(
+                problem.module,
+                problem.formulas,
+                max_bound=self.max_bound,
+                use_result_cache=False,
+                extra_free=problem.free_signals,
+                incremental=False,
+            )
+        from ..bmc.incremental import BMCSession
+
+        free_atoms = bmc_free_atoms(
+            problem.module, problem.formulas, problem.free_signals
         )
+        key = (module_fingerprint(problem.module), tuple(free_atoms))
+        with self._session_lock:
+            session = self._sessions.pop(key, None)
+        if session is None or not session.compatible_with(problem.module, free_atoms):
+            session = BMCSession(problem.module, free_atoms)
+        try:
+            return find_run_bmc(
+                problem.module,
+                problem.formulas,
+                max_bound=self.max_bound,
+                use_result_cache=False,
+                extra_free=problem.free_signals,
+                session=session,
+            )
+        finally:
+            # Repool even after a cancelled race: the solver backtracks to
+            # level 0 on its next call, so a half-run search is harmless.
+            with self._session_lock:
+                self._sessions[key] = session
+                while len(self._sessions) > self._SESSION_POOL_LIMIT:
+                    self._sessions.pop(next(iter(self._sessions)))
 
 
 # -- registry -----------------------------------------------------------------
@@ -427,4 +472,5 @@ def engine_from_options(options) -> CoverageEngine:
         max_bound=getattr(options, "bmc_max_bound", 12),
         slicing=getattr(options, "slicing", "auto"),
         model_path=getattr(options, "sched_model", None),
+        bdd_reorder=getattr(options, "bdd_reorder", False),
     )

@@ -34,14 +34,26 @@ class SymbolicEngine(CoverageEngine):
 
     ``verify_witness`` keeps the simulator replay of extracted lassos on
     (the default); it can be disabled for benchmarking the raw fixpoint.
+    ``bdd_reorder`` enables dynamic variable reordering (greedy sifting,
+    triggered on node-table growth during the fixpoints) — off by default
+    because the interleaved current/next order is already good for most
+    designs, worth trying when ``peak_nodes`` dominates a profile.
     """
 
     name = "symbolic"
     complete = True
 
-    def __init__(self, *, verify_witness: bool = True, slicing="auto", max_bound: int = 12):
+    def __init__(
+        self,
+        *,
+        verify_witness: bool = True,
+        slicing="auto",
+        max_bound: int = 12,
+        bdd_reorder: bool = False,
+    ):
         super().__init__(slicing=slicing, max_bound=max_bound)
         self.verify_witness = verify_witness
+        self.bdd_reorder = bdd_reorder
 
     def _cache_backend(self) -> str:
         # The fixpoint never consults the propositional backends, so cached
@@ -57,6 +69,7 @@ class SymbolicEngine(CoverageEngine):
             verify_witness=self.verify_witness,
             automata=problem.automata,
             extra_free=problem.free_signals,
+            reorder=self.bdd_reorder,
         )
 
 

@@ -118,12 +118,30 @@ class GeneralizedBuchi:
     def accepting_lasso(self) -> Optional[AcceptingLasso]:
         """Return an accepting lasso, or ``None`` when the language is empty.
 
-        Uses a Tarjan SCC decomposition restricted to reachable states: an
-        accepting run exists iff some reachable SCC (i) contains at least one
-        transition and (ii) intersects every acceptance set.  The lasso is then
-        assembled from a shortest path to the SCC and a cycle inside it that
-        touches one state of each acceptance set.
+        An accepting run exists iff some reachable SCC (i) contains at least
+        one transition and (ii) intersects every acceptance set.  The lasso is
+        then assembled from a shortest path to the SCC and a cycle inside it
+        that touches one state of each acceptance set.
+
+        When the state space is densely numbered ``0 .. n-1`` — which every
+        product construction guarantees — the search runs on integer
+        bitmasks: reachability is a frontier ``|=`` sweep and the SCC
+        decomposition is forward-backward intersection over precomputed
+        successor/predecessor masks.  Sparsely numbered automata fall back to
+        the Tarjan path, which is also kept as the differential-testing
+        reference (:meth:`_accepting_lasso_tarjan`).  Both paths agree on
+        emptiness; when several fair SCCs exist they may pick different ones,
+        so the extracted lassos are each valid but not necessarily equal.
         """
+        count = len(self.labels)
+        if count and all(
+            isinstance(state, int) and 0 <= state < count for state in self.labels
+        ):
+            return self._accepting_lasso_bitset(count)
+        return self._accepting_lasso_tarjan()
+
+    def _accepting_lasso_tarjan(self) -> Optional[AcceptingLasso]:
+        """Tarjan-SCC emptiness check (reference path for differentials)."""
         reachable = self.reachable_states()
         if not reachable:
             return None
@@ -133,6 +151,107 @@ class GeneralizedBuchi:
                 continue
             if all(component & accept_set for accept_set in self.acceptance):
                 return self._build_lasso(component)
+        return None
+
+    def _accepting_lasso_bitset(self, count: int) -> Optional[AcceptingLasso]:
+        """Bitset emptiness: frontier-sweep reachability + forward-backward SCCs.
+
+        All state sets are Python integers used as bitmasks, so one ``|=`` or
+        ``&`` processes the whole set per machine word.  The decomposition
+        picks the lowest set bit of a region as pivot, making the enumeration
+        order deterministic (and independent of hash seeds).
+        """
+        successors = [0] * count
+        for state, targets in self.transitions.items():
+            mask = 0
+            for target in targets:
+                mask |= 1 << target
+            successors[state] = mask
+
+        reached = 0
+        for state in self.initial:
+            reached |= 1 << state
+        frontier = reached
+        while frontier:
+            step = 0
+            mask = frontier
+            while mask:
+                bit = mask & -mask
+                step |= successors[bit.bit_length() - 1]
+                mask ^= bit
+            frontier = step & ~reached
+            reached |= frontier
+        if not reached:
+            return None
+
+        # Restrict the graph to reachable states and build predecessor masks.
+        predecessors = [0] * count
+        mask = reached
+        while mask:
+            bit = mask & -mask
+            source = bit.bit_length() - 1
+            mask ^= bit
+            targets = successors[source] & reached
+            successors[source] = targets
+            while targets:
+                target_bit = targets & -targets
+                predecessors[target_bit.bit_length() - 1] |= bit
+                targets ^= target_bit
+
+        acceptance_masks = []
+        for accept_set in self.acceptance:
+            accept_mask = 0
+            for state in accept_set:
+                if 0 <= state < count:
+                    accept_mask |= 1 << state
+            acceptance_masks.append(accept_mask)
+
+        regions = [reached]
+        while regions:
+            region = regions.pop()
+            if not region:
+                continue
+            pivot = region & -region
+            forward = pivot
+            frontier = pivot
+            while frontier:
+                step = 0
+                mask = frontier
+                while mask:
+                    bit = mask & -mask
+                    step |= successors[bit.bit_length() - 1]
+                    mask ^= bit
+                frontier = step & region & ~forward
+                forward |= frontier
+            backward = pivot
+            frontier = pivot
+            while frontier:
+                step = 0
+                mask = frontier
+                while mask:
+                    bit = mask & -mask
+                    step |= predecessors[bit.bit_length() - 1]
+                    mask ^= bit
+                frontier = step & region & ~backward
+                backward |= frontier
+            component_mask = forward & backward
+            nontrivial = component_mask & (component_mask - 1) != 0
+            if not nontrivial:
+                # Singleton SCC (the pivot): fair only with a self-loop.
+                nontrivial = bool(successors[pivot.bit_length() - 1] & component_mask)
+            if nontrivial and all(
+                component_mask & accept_mask for accept_mask in acceptance_masks
+            ):
+                component = set()
+                mask = component_mask
+                while mask:
+                    bit = mask & -mask
+                    component.add(bit.bit_length() - 1)
+                    mask ^= bit
+                return self._build_lasso(component)
+            regions.append(region & ~(forward | backward))
+            regions.append(forward & ~component_mask)
+            regions.append(backward & ~component_mask)
         return None
 
     def _build_lasso(self, component: Set[int]) -> AcceptingLasso:

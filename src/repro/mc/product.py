@@ -17,6 +17,16 @@ Because the Kripke state fixes the value of *every* signal, each automaton's
 compatible successors are filtered against that valuation before combining,
 so deterministic monitor components contribute exactly one successor and the
 product does not suffer the exponential branching a conjunction tableau would.
+
+The hot loops operate on integer bitmasks: each automaton's states are packed
+into dense bit positions, successor sets and label-compatibility sets become
+precomputed masks, and the per-edge filter is one ``&`` instead of a list
+comprehension re-checking literals.  Compatibility masks are memoised per
+(automaton, Kripke state) — the same Kripke target is reached through many
+product states, and its valuation never changes.  ``bitset=False`` selects
+the legacy dict/list inner loops, kept as the differential-testing reference;
+both construct the *identical* product (same state numbering, transitions,
+labels and acceptance), so every downstream consumer is byte-compatible.
 """
 
 from __future__ import annotations
@@ -49,11 +59,70 @@ def _compatible(label: FrozenSet[Literal], valuation: Mapping[str, bool]) -> boo
     return True
 
 
+class _ComponentBits:
+    """Bitmask view of one property automaton.
+
+    States are packed into bit positions in ascending state-id order, so
+    iterating the set bits of any mask from least to most significant visits
+    states in the same ascending order the legacy list-based loops used —
+    which is what keeps the two construction paths state-for-state identical.
+    """
+
+    __slots__ = ("states", "position", "succ", "initial_mask", "atom_masks", "full", "_compat")
+
+    def __init__(self, automaton: GeneralizedBuchi):
+        self.states: List[int] = sorted(automaton.labels)
+        self.position: Dict[int, int] = {
+            state: position for position, state in enumerate(self.states)
+        }
+        self.full = (1 << len(self.states)) - 1
+        self.succ: List[int] = [0] * len(self.states)
+        for state, targets in automaton.transitions.items():
+            mask = 0
+            for target in targets:
+                mask |= 1 << self.position[target]
+            self.succ[self.position[state]] = mask
+        self.initial_mask = 0
+        for state in automaton.initial:
+            self.initial_mask |= 1 << self.position[state]
+        # atom name -> (mask of states requiring it true, ... requiring false)
+        self.atom_masks: Dict[str, List[int]] = {}
+        for state, label in automaton.labels.items():
+            bit = 1 << self.position[state]
+            for name, value in label:
+                pair = self.atom_masks.setdefault(name, [0, 0])
+                pair[0 if value else 1] |= bit
+        self._compat: Dict[int, int] = {}
+
+    def compatible_mask(self, kripke_state: int, valuation: Mapping[str, bool]) -> int:
+        """Mask of automaton states whose labels agree with the valuation."""
+        mask = self._compat.get(kripke_state)
+        if mask is None:
+            mask = self.full
+            for name, (need_true, need_false) in self.atom_masks.items():
+                if bool(valuation.get(name, False)):
+                    mask &= ~need_false
+                else:
+                    mask &= ~need_true
+            self._compat[kripke_state] = mask
+        return mask
+
+    def bits_to_states(self, mask: int) -> List[int]:
+        """Set bits of ``mask`` as state ids, ascending."""
+        states = []
+        while mask:
+            bit = mask & -mask
+            states.append(self.states[bit.bit_length() - 1])
+            mask ^= bit
+        return states
+
+
 def kripke_automata_product(
     kripke: KripkeStructure,
     automata: Sequence[GeneralizedBuchi],
     *,
     statistics: Optional[ProductStatistics] = None,
+    bitset: bool = True,
 ) -> GeneralizedBuchi:
     """Synchronous product of a Kripke structure and property automata.
 
@@ -84,12 +153,111 @@ def kripke_automata_product(
             product.initial.add(ident)
         return ident
 
+    if bitset:
+        _explore_bitset(kripke, automata, product, get_state)
+    else:
+        _explore_dict(kripke, automata, product, get_state)
+
+    # Lift acceptance sets of every automaton to the product.
+    for component, automaton in enumerate(automata):
+        for accept_set in automaton.acceptance:
+            lifted = frozenset(
+                ident for combo, ident in index.items() if combo[component + 1] in accept_set
+            )
+            product.acceptance.append(lifted)
+
+    if statistics is not None:
+        statistics.product_states = product.state_count()
+        statistics.product_transitions = product.transition_count()
+    return product
+
+
+def _explore_bitset(
+    kripke: KripkeStructure,
+    automata: List[GeneralizedBuchi],
+    product: GeneralizedBuchi,
+    get_state,
+) -> None:
+    """Bitmask worklist exploration (the default fast path)."""
+    from ..engines.cancel import check_cancelled
+
+    components = [_ComponentBits(automaton) for automaton in automata]
+    count = len(components)
+    successor_lists: Dict[int, List[int]] = {}
+
+    worklist: List[Tuple[int, ...]] = []
+    seen: Set[Tuple[int, ...]] = set()
+    for kripke_state in sorted(kripke.initial):
+        valuation = kripke.label(kripke_state)
+        masks = []
+        for component in components:
+            mask = component.initial_mask & component.compatible_mask(
+                kripke_state, valuation
+            )
+            if not mask:
+                break
+            masks.append(mask)
+        if len(masks) < count:
+            continue
+        choices = [
+            component.bits_to_states(mask) for component, mask in zip(components, masks)
+        ]
+        for combo_rest in _cartesian(choices):
+            combo = (kripke_state,) + combo_rest
+            get_state(combo, initial=True)
+            if combo not in seen:
+                seen.add(combo)
+                worklist.append(combo)
+
+    while worklist:
+        check_cancelled()
+        combo = worklist.pop()
+        source = get_state(combo)
+        kripke_state = combo[0]
+        targets = successor_lists.get(kripke_state)
+        if targets is None:
+            targets = sorted(kripke.successors(kripke_state))
+            successor_lists[kripke_state] = targets
+        for kripke_target in targets:
+            valuation = kripke.label(kripke_target)
+            masks = []
+            for position in range(count):
+                component = components[position]
+                mask = component.succ[
+                    component.position[combo[position + 1]]
+                ] & component.compatible_mask(kripke_target, valuation)
+                if not mask:
+                    break
+                masks.append(mask)
+            if len(masks) < count:
+                continue
+            choices = [
+                component.bits_to_states(mask)
+                for component, mask in zip(components, masks)
+            ]
+            for combo_rest in _cartesian(choices):
+                target_combo = (kripke_target,) + combo_rest
+                target = get_state(target_combo)
+                product.add_transition(source, target)
+                if target_combo not in seen:
+                    seen.add(target_combo)
+                    worklist.append(target_combo)
+
+
+def _explore_dict(
+    kripke: KripkeStructure,
+    automata: List[GeneralizedBuchi],
+    product: GeneralizedBuchi,
+    get_state,
+) -> None:
+    """Legacy dict/list worklist exploration (differential reference)."""
+    from ..engines.cancel import check_cancelled
+
     def compatible_states(automaton: GeneralizedBuchi, candidates: Iterable[int],
                           valuation: Mapping[str, bool]) -> List[int]:
         return [state for state in candidates
                 if _compatible(automaton.labels[state], valuation)]
 
-    # Initial product states.
     worklist: List[Tuple[int, ...]] = []
     seen: Set[Tuple[int, ...]] = set()
     for kripke_state in sorted(kripke.initial):
@@ -106,10 +274,6 @@ def kripke_automata_product(
             if combo not in seen:
                 seen.add(combo)
                 worklist.append(combo)
-
-    # Forward exploration.  Polls the cooperative cancel token so a racing
-    # portfolio can stop a losing product construction.
-    from ..engines.cancel import check_cancelled
 
     while worklist:
         check_cancelled()
@@ -133,19 +297,6 @@ def kripke_automata_product(
                 if target_combo not in seen:
                     seen.add(target_combo)
                     worklist.append(target_combo)
-
-    # Lift acceptance sets of every automaton to the product.
-    for component, automaton in enumerate(automata):
-        for accept_set in automaton.acceptance:
-            lifted = frozenset(
-                ident for combo, ident in index.items() if combo[component + 1] in accept_set
-            )
-            product.acceptance.append(lifted)
-
-    if statistics is not None:
-        statistics.product_states = product.state_count()
-        statistics.product_transitions = product.transition_count()
-    return product
 
 
 def _cartesian(choices: Sequence[Sequence[int]]) -> Iterable[Tuple[int, ...]]:

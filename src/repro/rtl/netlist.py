@@ -54,6 +54,9 @@ class Module:
     assigns: Dict[str, BoolExpr] = field(default_factory=dict)
     registers: Dict[str, Register] = field(default_factory=dict)
     _eval_order: Optional[List[str]] = field(default=None, repr=False, compare=False)
+    _dep_graph: Optional[Dict[str, FrozenSet[str]]] = field(
+        default=None, repr=False, compare=False
+    )
 
     # -- construction --------------------------------------------------------
     def add_input(self, name: str) -> "Module":
@@ -62,6 +65,7 @@ class Module:
         self._check_not_driven(name)
         self.inputs.append(name)
         self._eval_order = None
+        self._dep_graph = None
         return self
 
     def add_output(self, name: str) -> "Module":
@@ -74,6 +78,7 @@ class Module:
         self._check_not_driven(name)
         self.assigns[name] = expr
         self._eval_order = None
+        self._dep_graph = None
         return self
 
     def add_register(self, name: str, next_value: BoolExpr, init: bool = False) -> "Module":
@@ -81,6 +86,7 @@ class Module:
         self._check_not_driven(name)
         self.registers[name] = Register(name, next_value, init)
         self._eval_order = None
+        self._dep_graph = None
         return self
 
     def _check_not_driven(self, name: str) -> None:
@@ -211,14 +217,20 @@ class Module:
 
         Combinational assignments depend on their expression's support;
         registers depend on the support of their next-state function (a
-        sequential edge — the cone of influence follows both kinds).
+        sequential edge — the cone of influence follows both kinds).  Cached
+        like ``evaluation_order`` — slicing rebuilds a cone per spec conjunct
+        and the expression supports don't change between them — and
+        invalidated by the same mutators.
         """
+        if self._dep_graph is not None:
+            return dict(self._dep_graph)
         graph: Dict[str, FrozenSet[str]] = {}
         for name, expr in self.assigns.items():
             graph[name] = frozenset(expr.variables())
         for name, register in self.registers.items():
             graph[name] = frozenset(register.next_value.variables())
-        return graph
+        self._dep_graph = graph
+        return dict(graph)
 
     def cone_of_influence(self, signals: Iterable[str]) -> FrozenSet[str]:
         """Transitive fan-in of the given signals (inclusive, iterative).

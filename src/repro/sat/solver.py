@@ -7,9 +7,19 @@ of clauses):
 * two-watched-literal unit propagation,
 * first-UIP conflict analysis with clause learning,
 * non-chronological backjumping,
-* VSIDS-style activity-based branching with phase saving,
+* VSIDS-style activity-based branching (lazy max-heap) with phase saving,
 * Luby-sequence restarts,
 * learned-clause deletion based on activity.
+
+The solver is **incremental**: one instance can be solved many times.
+Clauses may be added between calls (:meth:`SatSolver.add_clause`, or by
+appending to the underlying :class:`~repro.sat.cnf.CNF` — the solver syncs
+new clauses at the start of every :meth:`solve`), and ``solve(assumptions=
+...)`` treats the assumptions as retractable pseudo-decisions, so learned
+clauses, variable activities and saved phases all persist across calls.
+This is the discipline bounded model checkers rely on: the monotone
+transition unrolling accumulates in one solver while per-bound constraints
+are switched on and off through assumed activation literals.
 
 A deliberately naive :func:`solve_brute_force` reference is also provided;
 the property-based tests cross-check the two on random formulas.
@@ -19,7 +29,8 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from heapq import heappop, heappush
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .cnf import CNF, Literal
 
@@ -80,19 +91,27 @@ def _luby(index: int) -> int:
 
 
 class SatSolver:
-    """CDCL solver over a :class:`~repro.sat.cnf.CNF` formula."""
+    """Incremental CDCL solver over a :class:`~repro.sat.cnf.CNF` formula.
+
+    The solver loads the CNF's clauses at construction and re-syncs before
+    every :meth:`solve`, so callers can keep emitting clauses into the shared
+    CNF (e.g. through a :class:`~repro.sat.tseitin.TseitinEncoder`) between
+    calls.  Everything the search learns — conflict clauses, VSIDS
+    activities, saved phases — survives into the next call.
+    """
 
     def __init__(self, cnf: CNF):
         self._cnf = cnf
-        self._num_vars = cnf.variable_count()
+        self._num_vars = 0
         # assignment[v] is None / True / False, indexed from 1
-        self._assignment: List[Optional[bool]] = [None] * (self._num_vars + 1)
-        self._level: List[int] = [0] * (self._num_vars + 1)
-        self._reason: List[Optional[_ClauseRef]] = [None] * (self._num_vars + 1)
-        self._activity: List[float] = [0.0] * (self._num_vars + 1)
-        self._phase: List[bool] = [False] * (self._num_vars + 1)
+        self._assignment: List[Optional[bool]] = [None]
+        self._level: List[int] = [0]
+        self._reason: List[Optional[_ClauseRef]] = [None]
+        self._activity: List[float] = [0.0]
+        self._phase: List[bool] = [False]
         self._trail: List[int] = []
         self._trail_limits: List[int] = []
+        self._qhead = 0
         self._clauses: List[_ClauseRef] = []
         self._learned: List[_ClauseRef] = []
         self._watches: Dict[int, List[_ClauseRef]] = {}
@@ -100,40 +119,117 @@ class SatSolver:
         self._var_decay = 0.95
         self._clause_inc = 1.0
         self._clause_decay = 0.999
-        self._result_stats = SatResult(False)
-        self._empty_clause = False
-        for clause in cnf.clauses:
-            self._add_clause([int(lit) for lit in clause.literals], learned=False)
+        #: True once the clause database is contradictory on its own (empty
+        #: clause or a level-0 conflict) — every future solve is UNSAT.
+        self._failed = False
         # Branch only on variables that occur in the formula: the pool may be
         # shared with other queries (incremental BMC) and carry thousands of
         # variables that are irrelevant here.
-        self._relevant: List[int] = sorted(
-            {abs(literal) for ref in self._clauses for literal in ref.literals}
-        )
+        self._relevant: Set[int] = set()
+        # Lazy max-heap of (-activity, variable); stale entries are skipped
+        # at pop time, unassigned variables are re-pushed on backtracking.
+        self._order: List[Tuple[float, int]] = []
+        # Cumulative search counters (per-call deltas go into SatResult).
+        self._conflicts = 0
+        self._decisions = 0
+        self._propagations = 0
+        self._restarts = 0
+        self._learned_total = 0
+        self._attached = 0
+        self.attach_clauses()
 
-    # -- clause management -----------------------------------------------------
-    def _add_clause(self, literals: List[int], learned: bool) -> Optional[_ClauseRef]:
+    # -- incremental interface --------------------------------------------------
+    @property
+    def attached_clauses(self) -> int:
+        """Number of problem clauses currently loaded into the solver."""
+        return len(self._clauses)
+
+    @property
+    def learned_clause_count(self) -> int:
+        return len(self._learned)
+
+    def add_clause(self, *literals: Literal) -> None:
+        """Add a clause after construction (also appended to the CNF).
+
+        The solver must be between :meth:`solve` calls; the new clause takes
+        effect immediately (level-0 propagation happens on the next solve).
+        """
+        self._cnf.add_clause(*literals)
+        self.attach_clauses()
+
+    def attach_clauses(self) -> int:
+        """Sync clauses appended to the underlying CNF since the last sync.
+
+        Returns the number of newly attached clauses.  Called automatically
+        at the start of every :meth:`solve`.
+        """
+        clauses = self._cnf.clauses
+        fresh = 0
+        if self._attached < len(clauses):
+            self._cancel_to(0)
+            while self._attached < len(clauses):
+                clause = clauses[self._attached]
+                self._attached += 1
+                fresh += 1
+                self._attach([int(lit) for lit in clause.literals])
+        return fresh
+
+    def _attach(self, literals: List[int]) -> None:
+        """Attach one problem clause, repairing watches/units at level 0."""
         literals = list(dict.fromkeys(literals))
+        for literal in literals:
+            self._ensure_variable(abs(literal))
         if not literals:
-            self._empty_clause = True
-            return None
-        ref = _ClauseRef(literals, learned)
-        if learned:
-            self._learned.append(ref)
-            self._result_stats.learned_clauses += 1
-        else:
-            self._clauses.append(ref)
+            self._failed = True
+            return
+        ref = _ClauseRef(literals, learned=False)
+        self._clauses.append(ref)
+        for literal in literals:
+            variable = abs(literal)
+            if variable not in self._relevant:
+                self._relevant.add(variable)
+                heappush(self._order, (-self._activity[variable], variable))
         if len(literals) == 1:
-            return ref
+            value = self._value(literals[0])
+            if value is False:
+                self._failed = True
+            elif value is None:
+                self._assign(literals[0], ref)
+            return
+        # Prefer non-false watches so the two-watched invariant holds even
+        # when the clause arrives after level-0 propagation has run.
+        non_false = [i for i, lit in enumerate(literals) if self._value(lit) is not False]
+        if len(non_false) >= 2:
+            a, b = non_false[0], non_false[1]
+            literals[0], literals[a] = literals[a], literals[0]
+            if b == 0:
+                b = a
+            literals[1], literals[b] = literals[b], literals[1]
+        elif len(non_false) == 1:
+            a = non_false[0]
+            literals[0], literals[a] = literals[a], literals[0]
+            if self._value(literals[0]) is None:
+                self._assign(literals[0], ref)
+        else:
+            self._failed = True
         self._watch(literals[0], ref)
         self._watch(literals[1], ref)
+
+    def _attach_learned(self, literals: List[int]) -> _ClauseRef:
+        """Attach a learned clause (watch order prepared by the analysis)."""
+        ref = _ClauseRef(list(literals), learned=True)
+        self._learned.append(ref)
+        self._learned_total += 1
+        if len(ref.literals) > 1:
+            self._watch(ref.literals[0], ref)
+            self._watch(ref.literals[1], ref)
         return ref
 
     def _watch(self, literal: int, ref: _ClauseRef) -> None:
         self._watches.setdefault(-literal, []).append(ref)
 
     def _ensure_variable(self, variable: int) -> None:
-        """Grow the per-variable arrays when an assumption names a new variable."""
+        """Grow the per-variable arrays when a new variable appears."""
         while self._num_vars < variable:
             self._num_vars += 1
             self._assignment.append(None)
@@ -160,25 +256,30 @@ class SatSolver:
         self._phase[variable] = literal > 0
         self._trail.append(literal)
 
-    def _unassign_to(self, level: int) -> None:
+    def _cancel_to(self, level: int) -> None:
+        """Undo all assignments above ``level`` (re-queueing branch variables)."""
         if level >= len(self._trail_limits):
             return
         target = self._trail_limits[level]
+        order = self._order
         for literal in reversed(self._trail[target:]):
             variable = abs(literal)
             self._assignment[variable] = None
             self._reason[variable] = None
+            if variable in self._relevant:
+                heappush(order, (-self._activity[variable], variable))
         del self._trail[target:]
         del self._trail_limits[level:]
+        if self._qhead > len(self._trail):
+            self._qhead = len(self._trail)
 
     # -- propagation ---------------------------------------------------------------
-    def _propagate(self, queue_start: int) -> Optional[_ClauseRef]:
-        """Unit propagation; returns a conflicting clause or ``None``."""
-        index = queue_start
-        while index < len(self._trail):
-            literal = self._trail[index]
-            index += 1
-            self._result_stats.propagations += 1
+    def _propagate(self) -> Optional[_ClauseRef]:
+        """Unit propagation from the queue head; returns a conflict or ``None``."""
+        while self._qhead < len(self._trail):
+            literal = self._trail[self._qhead]
+            self._qhead += 1
+            self._propagations += 1
             watchers = self._watches.get(literal, [])
             retained: List[_ClauseRef] = []
             position = 0
@@ -210,6 +311,7 @@ class SatSolver:
                     # Conflict: keep remaining watchers and report.
                     retained.extend(watchers[position:])
                     self._watches[literal] = retained
+                    self._qhead = len(self._trail)
                     return ref
                 self._assign(first, ref)
             self._watches[literal] = retained
@@ -222,6 +324,15 @@ class SatSolver:
             for index in range(1, self._num_vars + 1):
                 self._activity[index] *= 1e-100
             self._var_inc *= 1e-100
+            # Stored heap keys are stale after a rescale; rebuild.
+            self._order = [
+                (-self._activity[v], v)
+                for v in self._relevant
+                if self._assignment[v] is None
+            ]
+            self._order.sort()
+        if self._assignment[variable] is None and variable in self._relevant:
+            heappush(self._order, (-self._activity[variable], variable))
 
     def _bump_clause(self, ref: _ClauseRef) -> None:
         ref.activity += self._clause_inc
@@ -281,13 +392,19 @@ class SatSolver:
 
     # -- branching ------------------------------------------------------------------------
     def _pick_branch_variable(self) -> Optional[int]:
-        best: Optional[int] = None
-        best_activity = -1.0
-        for variable in self._relevant:
-            if self._assignment[variable] is None and self._activity[variable] > best_activity:
-                best = variable
-                best_activity = self._activity[variable]
-        return best
+        order = self._order
+        activity = self._activity
+        assignment = self._assignment
+        while order:
+            negated, variable = heappop(order)
+            if assignment[variable] is not None:
+                continue
+            if -negated != activity[variable]:
+                # Stale entry: the variable was bumped since this was pushed
+                # (the bump pushed a fresh entry with the higher activity).
+                continue
+            return variable
+        return None
 
     def _reduce_learned(self) -> None:
         """Drop the least active half of the learned clauses (keep binary ones)."""
@@ -318,11 +435,14 @@ class SatSolver:
     ) -> SatResult:
         """Run the CDCL loop.
 
-        ``assumptions`` are decision-level-zero unit assumptions (used by the
-        BMC engine for incremental bound extension).  When ``max_conflicts``
-        is exceeded the search is abandoned and the result reports
-        unsatisfiable with ``conflicts`` equal to the limit — callers that
-        need completeness must leave it unset.
+        ``assumptions`` are retractable pseudo-decisions asserted below every
+        search decision (the incremental-BMC discipline: per-bound activation
+        literals are assumed, never added as units, so one solver serves
+        every bound).  The solver always returns backtracked to level 0,
+        ready for the next call; learned clauses and branching state carry
+        over.  When ``max_conflicts`` is exceeded the search is abandoned and
+        the result reports unsatisfiable with ``conflicts`` equal to the
+        limit — callers that need completeness must leave it unset.
 
         Every call is recorded in the process metrics registry
         (``sat.solves`` and the aggregate search counters) — cheap relative
@@ -340,37 +460,52 @@ class SatSolver:
         registry.inc("sat.restarts", result.restarts)
         return result
 
+    def _call_result(self, satisfiable: bool, base: Tuple[int, ...], assignment=None) -> SatResult:
+        conflicts, decisions, propagations, restarts, learned = base
+        return SatResult(
+            satisfiable,
+            assignment or {},
+            conflicts=self._conflicts - conflicts,
+            decisions=self._decisions - decisions,
+            propagations=self._propagations - propagations,
+            restarts=self._restarts - restarts,
+            learned_clauses=self._learned_total - learned,
+        )
+
+    def _model(self) -> Dict[str, bool]:
+        named_count = len(self._cnf.pool)
+        name_of = self._cnf.pool.name_of
+        return {
+            name_of(index): bool(self._assignment[index])
+            for index in range(1, min(self._num_vars, named_count) + 1)
+            if self._assignment[index] is not None
+        }
+
     def _solve(
         self,
         assumptions: Sequence[Literal] = (),
         *,
         max_conflicts: Optional[int] = None,
     ) -> SatResult:
-        stats = self._result_stats
-        if self._empty_clause:
-            return SatResult(False)
-
-        # Assert unit clauses and assumptions at level zero.
-        for ref in itertools.chain(self._clauses, self._learned):
-            if len(ref.literals) == 1:
-                literal = ref.literals[0]
-                value = self._value(literal)
-                if value is False:
-                    return SatResult(False)
-                if value is None:
-                    self._assign(literal, ref)
-        for assumption in assumptions:
-            literal = int(assumption)
+        base = (
+            self._conflicts,
+            self._decisions,
+            self._propagations,
+            self._restarts,
+            self._learned_total,
+        )
+        self._cancel_to(0)
+        self.attach_clauses()
+        if self._failed:
+            return self._call_result(False, base)
+        assumed = [int(assumption) for assumption in assumptions]
+        for literal in assumed:
             self._ensure_variable(abs(literal))
-            value = self._value(literal)
-            if value is False:
-                return SatResult(False)
-            if value is None:
-                self._assign(literal, None)
 
-        conflict = self._propagate(0)
+        conflict = self._propagate()
         if conflict is not None:
-            return SatResult(False)
+            self._failed = True
+            return self._call_result(False, base)
 
         from ..engines.cancel import check_cancelled
 
@@ -378,68 +513,22 @@ class SatSolver:
         conflicts_until_restart = 32 * _luby(restart_index)
         conflicts_since_restart = 0
         learned_limit = max(100, len(self._clauses) // 2)
-        root_trail_size = len(self._trail)
-        decisions_until_poll = 128
+        steps_until_poll = 128
 
         while True:
-            # Cooperative cancellation for portfolio races, polled every few
-            # decisions so a lost race doesn't keep burning the CDCL loop.
-            decisions_until_poll -= 1
-            if decisions_until_poll <= 0:
-                decisions_until_poll = 128
-                check_cancelled()
-            if max_conflicts is not None and stats.conflicts >= max_conflicts:
-                result = SatResult(False)
-                result.conflicts = stats.conflicts
-                result.decisions = stats.decisions
-                result.propagations = stats.propagations
-                result.restarts = stats.restarts
-                result.learned_clauses = stats.learned_clauses
-                return result
-            variable = self._pick_branch_variable()
-            if variable is None:
-                named_count = len(self._cnf.pool)
-                assignment = {
-                    self._cnf.pool.name_of(index): bool(self._assignment[index])
-                    for index in range(1, min(self._num_vars, named_count) + 1)
-                    if self._assignment[index] is not None
-                }
-                return SatResult(
-                    True,
-                    assignment,
-                    conflicts=stats.conflicts,
-                    decisions=stats.decisions,
-                    propagations=stats.propagations,
-                    restarts=stats.restarts,
-                    learned_clauses=stats.learned_clauses,
-                )
-            stats.decisions += 1
-            self._trail_limits.append(len(self._trail))
-            self._assign(variable if self._phase[variable] else -variable, None)
-
-            while True:
-                conflict = self._propagate(self._trail_limits[-1] if self._trail_limits else 0)
-                if conflict is None:
-                    break
-                stats.conflicts += 1
+            conflict = self._propagate()
+            if conflict is not None:
+                self._conflicts += 1
                 conflicts_since_restart += 1
                 if self._decision_level() == 0:
-                    return SatResult(
-                        False,
-                        conflicts=stats.conflicts,
-                        decisions=stats.decisions,
-                        propagations=stats.propagations,
-                        restarts=stats.restarts,
-                        learned_clauses=stats.learned_clauses,
-                    )
+                    self._failed = True
+                    return self._call_result(False, base)
                 learned, backjump = self._analyze(conflict)
-                self._unassign_to(backjump)
-                ref = self._add_clause(learned, learned=True)
+                self._cancel_to(backjump)
+                ref = self._attach_learned(learned)
                 self._var_inc /= self._var_decay
                 self._clause_inc /= self._clause_decay
-                if ref is not None:
-                    self._assign(learned[0], ref if len(learned) > 1 else ref)
-                conflict = None
+                self._assign(learned[0], ref)
                 if len(self._learned) > learned_limit:
                     self._reduce_learned()
                     learned_limit = int(learned_limit * 1.3)
@@ -447,19 +536,45 @@ class SatSolver:
                     conflicts_since_restart = 0
                     restart_index += 1
                     conflicts_until_restart = 32 * _luby(restart_index)
-                    stats.restarts += 1
-                    self._unassign_to(0)
-                    conflict = self._propagate(root_trail_size)
-                    if conflict is not None:
-                        return SatResult(
-                            False,
-                            conflicts=stats.conflicts,
-                            decisions=stats.decisions,
-                            propagations=stats.propagations,
-                            restarts=stats.restarts,
-                            learned_clauses=stats.learned_clauses,
-                        )
-                    break
+                    self._restarts += 1
+                    self._cancel_to(0)
+                continue
+
+            # Cooperative cancellation for portfolio races, polled every few
+            # steps so a lost race doesn't keep burning the CDCL loop.
+            steps_until_poll -= 1
+            if steps_until_poll <= 0:
+                steps_until_poll = 128
+                check_cancelled()
+            if max_conflicts is not None and self._conflicts - base[0] >= max_conflicts:
+                result = self._call_result(False, base)
+                self._cancel_to(0)
+                return result
+
+            if self._decision_level() < len(assumed):
+                # Re-assert the next pending assumption as a pseudo-decision.
+                literal = assumed[self._decision_level()]
+                value = self._value(literal)
+                if value is False:
+                    # The clause database (with the earlier assumptions)
+                    # forces this assumption's negation: UNSAT under
+                    # assumptions, but the database itself stays consistent.
+                    result = self._call_result(False, base)
+                    self._cancel_to(0)
+                    return result
+                self._trail_limits.append(len(self._trail))
+                if value is None:
+                    self._assign(literal, None)
+                continue
+
+            variable = self._pick_branch_variable()
+            if variable is None:
+                result = self._call_result(True, base, self._model())
+                self._cancel_to(0)
+                return result
+            self._decisions += 1
+            self._trail_limits.append(len(self._trail))
+            self._assign(variable if self._phase[variable] else -variable, None)
 
 
 def solve(cnf: CNF, assumptions: Sequence[Literal] = ()) -> SatResult:

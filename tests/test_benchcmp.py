@@ -1,0 +1,118 @@
+"""Unit tests for the benchmark-trajectory comparison (repro.benchcmp)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.benchcmp import compare_trajectories, load_trajectory, main
+
+
+def _payload(cells):
+    designs = {}
+    for design, engine, seconds, covered in cells:
+        designs.setdefault(design, {})[engine] = {
+            "seconds": seconds,
+            "covered": covered,
+        }
+    return {"designs": designs}
+
+
+class TestCompareTrajectories:
+    def test_identical_runs_are_ok(self):
+        payload = _payload([("d1", "bmc", 0.5, True), ("d1", "explicit", 0.2, True)])
+        comparison = compare_trajectories(payload, payload)
+        assert comparison.ok
+        assert len(comparison.deltas) == 2
+        assert not comparison.regressions
+
+    def test_slowdown_past_ratio_is_a_regression(self):
+        baseline = _payload([("d1", "bmc", 0.40, True)])
+        current = _payload([("d1", "bmc", 0.80, True)])
+        comparison = compare_trajectories(current, baseline)
+        assert not comparison.ok
+        (delta,) = comparison.regressions
+        assert delta.design == "d1" and delta.engine == "bmc"
+        assert delta.ratio > 1.25
+
+    def test_slowdown_within_ratio_passes(self):
+        baseline = _payload([("d1", "bmc", 0.40, True)])
+        current = _payload([("d1", "bmc", 0.48, True)])
+        assert compare_trajectories(current, baseline).ok
+
+    def test_noise_floor_forgives_tiny_cells(self):
+        # 10ms -> 40ms is a 4x blow-up on paper but still under the floor.
+        baseline = _payload([("d1", "auto", 0.010, True)])
+        current = _payload([("d1", "auto", 0.040, True)])
+        assert compare_trajectories(current, baseline).ok
+        # ...and a tiny baseline is clamped to the floor, not divided by.
+        current = _payload([("d1", "auto", 0.055, True)])
+        assert compare_trajectories(current, baseline).ok
+
+    def test_small_absolute_slowdown_forgiven_despite_ratio(self):
+        # Thread-racing portfolio cells jitter across the ratio gate while
+        # staying within tens of milliseconds; the absolute gate forgives it.
+        baseline = _payload([("d1", "portfolio", 0.050, True)])
+        current = _payload([("d1", "portfolio", 0.090, True)])
+        assert compare_trajectories(current, baseline).ok
+
+    def test_fast_cell_real_regression_still_caught(self):
+        baseline = _payload([("d1", "bmc", 0.060, True)])
+        current = _payload([("d1", "bmc", 0.200, True)])
+        assert not compare_trajectories(current, baseline).ok
+
+    def test_missing_cell_fails(self):
+        baseline = _payload([("d1", "bmc", 0.4, True), ("d1", "explicit", 0.2, True)])
+        current = _payload([("d1", "bmc", 0.4, True)])
+        comparison = compare_trajectories(current, baseline)
+        assert not comparison.ok
+        assert comparison.missing == [("d1", "explicit")]
+
+    def test_new_cell_in_current_is_ignored(self):
+        baseline = _payload([("d1", "bmc", 0.4, True)])
+        current = _payload([("d1", "bmc", 0.4, True), ("d2", "bmc", 9.9, True)])
+        assert compare_trajectories(current, baseline).ok
+
+    def test_verdict_flip_fails_even_when_fast(self):
+        baseline = _payload([("d1", "bmc", 0.4, True)])
+        current = _payload([("d1", "bmc", 0.3, False)])
+        comparison = compare_trajectories(current, baseline)
+        assert not comparison.ok
+        assert comparison.verdict_changes == [("d1", "bmc")]
+
+    def test_summary_names_the_regressions(self):
+        baseline = _payload([("d1", "bmc", 0.40, True)])
+        current = _payload([("d1", "bmc", 2.0, True)])
+        summary = compare_trajectories(current, baseline).summary()
+        assert "REGRESSION" in summary and "1 regression(s)" in summary
+
+
+class TestMain:
+    def _write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        return str(path)
+
+    def test_exit_zero_when_clean(self, tmp_path, capsys):
+        payload = _payload([("d1", "bmc", 0.4, True)])
+        path = self._write(tmp_path, "run.json", payload)
+        assert main([path, path]) == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        baseline = self._write(tmp_path, "base.json", _payload([("d1", "bmc", 0.4, True)]))
+        current = self._write(tmp_path, "cur.json", _payload([("d1", "bmc", 2.0, True)]))
+        assert main([current, baseline]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_max_ratio_flag(self, tmp_path):
+        baseline = self._write(tmp_path, "base.json", _payload([("d1", "bmc", 0.4, True)]))
+        current = self._write(tmp_path, "cur.json", _payload([("d1", "bmc", 1.0, True)]))
+        assert main([current, baseline]) == 1
+        assert main([current, baseline, "--max-ratio", "3.0"]) == 0
+
+    def test_committed_baseline_self_compares_clean(self):
+        import os
+
+        baseline = os.path.join(os.path.dirname(__file__), "..", "BENCH_engines.json")
+        payload = load_trajectory(baseline)
+        assert compare_trajectories(payload, payload).ok
